@@ -1,0 +1,28 @@
+"""A2 — which stage dominates T_handshake.
+
+Decomposes measured handshakes into scan / association / MQTT connect /
+protocol remainder.  On ESP32-class hardware the channel scan dominates;
+the ablation verifies the reproduction shows the same structure.
+"""
+
+from repro.experiments.ablations import run_handshake_stage_ablation
+from repro.experiments.report import render_table
+
+
+def test_handshake_stage_decomposition(once):
+    row = once(run_handshake_stage_ablation, runs=10, base_seed=0)
+    print()
+    print(
+        render_table(
+            ["scan_s", "assoc_s", "connect_s", "protocol_s", "total_s", "dominant"],
+            [[row.scan_s, row.assoc_s, row.connect_s, row.protocol_s,
+              row.total_s, row.dominant_stage]],
+        )
+    )
+    assert row.dominant_stage == "scan"
+    assert row.scan_s > 0.5 * row.total_s
+    # The registration protocol itself is a small fraction: the paper's
+    # 6 s is radio time, not protocol time.
+    assert row.protocol_s < 0.1 * row.total_s
+    stages_sum = row.scan_s + row.assoc_s + row.connect_s + row.protocol_s
+    assert abs(stages_sum - row.total_s) < 0.2

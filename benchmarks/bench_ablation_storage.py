@@ -1,0 +1,26 @@
+"""A3 — store-and-forward integrity across disconnection lengths.
+
+Paper: "if the device is disconnected before the reporting time, the
+data is stored locally until the network is restored".  Sweeps the
+transit gap and verifies buffered consumption always reaches the ledger.
+"""
+
+from repro.experiments.ablations import run_storage_ablation
+from repro.experiments.report import render_table
+
+
+def test_backfill_across_idle_gaps(once):
+    rows = once(run_storage_ablation, idle_gaps_s=(2.0, 10.0, 30.0))
+    print()
+    print(
+        render_table(
+            ["idle_s", "buffered", "ledger_records", "handshake_s", "backfill_ok"],
+            [[r.idle_s, r.buffered_records, r.ledger_records, r.handshake_s,
+              r.backfill_worked] for r in rows],
+        )
+    )
+    assert all(r.backfill_worked for r in rows)
+    # Buffered volume is set by the handshake time (consumption exists
+    # only while attached), so it is roughly constant across idle gaps.
+    counts = [r.buffered_records for r in rows]
+    assert max(counts) - min(counts) < 40

@@ -1,0 +1,46 @@
+"""A6 — tamper-attack detection across the detector suite.
+
+Runs each attack model against the three detectors (unit level) and one
+scaling attack through the full simulation (integration level), where
+the paper's complementary measurement must flag the fraudulent network.
+"""
+
+from repro.anomaly import ScalingAttack
+from repro.experiments.ablations import run_anomaly_ablation
+from repro.experiments.report import render_table
+from repro.workloads.scenarios import build_paper_testbed
+
+
+def test_detector_matrix(once):
+    rows = once(run_anomaly_ablation)
+    print()
+    print(
+        render_table(
+            ["attack", "residual", "variation", "entropy", "detected"],
+            [[r.attack, r.residual_detected, r.variation_detected,
+              r.entropy_detected, r.detected_by_any] for r in rows],
+        )
+    )
+    by_attack = {r.attack: r for r in rows}
+    assert not by_attack["none"].detected_by_any
+    for attack in ("scaling", "offset", "replay", "drop"):
+        assert by_attack[attack].detected_by_any, attack
+
+
+def test_full_system_fraud_detection(once):
+    def run():
+        scenario = build_paper_testbed(seed=23)
+        scenario.device("device1").tamper_attack = ScalingAttack(0.5)
+        scenario.run_until(25.0)
+        return scenario
+
+    scenario = once(run)
+    fraud_stats = scenario.aggregator("agg1").verifier.stats
+    honest_stats = scenario.aggregator("agg2").verifier.stats
+    print(
+        f"\nfraudulent network: {fraud_stats.network_anomalies}/"
+        f"{fraud_stats.network_checks} checks flagged; honest network: "
+        f"{honest_stats.network_anomalies}/{honest_stats.network_checks}"
+    )
+    assert fraud_stats.network_anomalies > 0.5 * fraud_stats.network_checks
+    assert honest_stats.network_anomalies == 0

@@ -1,0 +1,62 @@
+"""A7 — anomalous-device attribution (the §IV "ground truth problem").
+
+The paper leaves identifying *which* device misreports as future work;
+this bench exercises the least-squares attribution: accuracy across
+attack strengths, and the estimator's cost.
+"""
+
+import pytest
+
+from repro.anomaly import DeviceAttributor, ScalingAttack
+from repro.experiments.report import render_table
+from repro.workloads.scenarios import build_paper_testbed
+
+
+@pytest.mark.parametrize("factor", [0.3, 0.5, 0.8])
+def test_attribution_identifies_fraud_strengths(once, factor):
+    def run():
+        scenario = build_paper_testbed(seed=8)
+        scenario.device("device1").tamper_attack = ScalingAttack(factor)
+        scenario.run_until(40.0)
+        return scenario.aggregator("agg1").attribute_anomaly()
+
+    result = once(run)
+    print(
+        f"\nscaling x{factor}: alphas "
+        f"{ {k: round(v, 2) for k, v in result.alphas.items()} } "
+        f"suspects {result.suspects}"
+    )
+    assert result.suspects == ["device1"]
+    # Recovered scale approximates 1/factor.
+    assert result.alphas["device1"] == pytest.approx(1.0 / factor, rel=0.25)
+    assert result.alphas["device2"] == pytest.approx(1.0, abs=0.12)
+
+
+def test_attribution_estimator_cost(benchmark):
+    scenario = build_paper_testbed(seed=8)
+    scenario.device("device1").tamper_attack = ScalingAttack(0.5)
+    scenario.run_until(40.0)
+    agg1 = scenario.aggregator("agg1")
+
+    result = benchmark(agg1.attribute_anomaly)
+    assert result.suspects == ["device1"]
+
+
+def test_attribution_summary_table(once):
+    def sweep():
+        rows = []
+        for factor in (1.0, 0.5):
+            scenario = build_paper_testbed(seed=8)
+            if factor != 1.0:
+                scenario.device("device1").tamper_attack = ScalingAttack(factor)
+            scenario.run_until(35.0)
+            result = scenario.aggregator("agg1").attribute_anomaly()
+            rows.append(
+                [factor, result.alphas["device1"], result.alphas["device2"],
+                 ",".join(result.suspects) or "-"]
+            )
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(["report_scale", "alpha_d1", "alpha_d2", "suspects"], rows))

@@ -1,0 +1,49 @@
+"""E4 — inter-aggregator backhaul delay.
+
+Paper: "the data communication between aggregators does not incur much
+delay (1 millisecond) as the backhaul network is assumed to have high
+bandwidth."
+"""
+
+import pytest
+
+from repro.ids import AggregatorId
+from repro.net import BackhaulLink, BackhaulMesh
+from repro.sim import Simulator
+
+
+def build_mesh(n=8):
+    sim = Simulator()
+    mesh = BackhaulMesh(sim)
+    ids = [AggregatorId(f"agg{i}") for i in range(n)]
+    for agg in ids:
+        mesh.add_aggregator(agg, lambda s, p: None)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            mesh.connect(BackhaulLink(a, b, latency_s=0.001))
+    return sim, mesh, ids
+
+
+def test_backhaul_delay_is_one_millisecond(benchmark):
+    sim, mesh, ids = build_mesh(2)
+
+    def send():
+        return mesh.send(ids[0], ids[1], {"payload": 1})
+
+    latency = benchmark(send)
+    print(f"\nbackhaul one-hop latency: {latency * 1000:.3f} ms (paper: ~1 ms)")
+    assert latency == pytest.approx(0.001)
+
+
+def test_backhaul_routing_throughput(benchmark):
+    sim, mesh, ids = build_mesh(8)
+
+    def burst():
+        for a in ids:
+            for b in ids:
+                if a != b:
+                    mesh.send(a, b, None)
+        sim.run()
+
+    benchmark(burst)
+    print(f"\nmessages routed: {mesh.messages_sent}")

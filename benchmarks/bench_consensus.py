@@ -1,0 +1,95 @@
+"""A5 — cost of the future-work consensus vs the trusted-aggregator chain.
+
+Paper §II-A: with trusted aggregators "there is no consensus required";
+§IV plans device-level consensus.  Quantifies what that would cost:
+messages per committed block scale O(n^2) with the validator count,
+while the no-consensus append stays O(1).
+"""
+
+import pytest
+
+from repro.chain import Blockchain, PoaConsensus, Validator
+from repro.experiments.report import render_table
+
+RECORDS = [
+    {"device": f"d{i}", "device_uid": f"u{i}", "sequence": i,
+     "measured_at": 0.0, "energy_mwh": 0.01}
+    for i in range(8)
+]
+
+
+def test_no_consensus_append_message_cost_is_zero(benchmark):
+    chain = Blockchain()
+    counter = iter(range(10**9))
+
+    def append():
+        chain.append("agg1", float(next(counter)), RECORDS)
+
+    benchmark(append)
+    print("\ntrusted-aggregator append: 0 consensus messages per block")
+
+
+@pytest.mark.parametrize("validators", [2, 4, 8, 16])
+def test_consensus_message_scaling(benchmark, validators):
+    def run_round():
+        chain = Blockchain()
+        consensus = PoaConsensus([Validator(f"v{i}") for i in range(validators)], chain)
+        committed, _ = consensus.propose(0.0, RECORDS)
+        assert committed
+        return consensus.messages_exchanged
+
+    messages = benchmark(run_round)
+    expected = (validators - 1) + validators * (validators - 1)
+    print(f"\n{validators} validators: {messages} messages/block "
+          f"(expected {expected})")
+    assert messages == expected
+
+
+@pytest.mark.parametrize("validators", [3, 5, 9])
+def test_networked_consensus_commit_latency(once, validators):
+    """Latency, not just messages: a round over 1 ms mesh links."""
+    from repro.chain import NetworkedPoaConsensus, NetworkedValidator
+    from repro.ids import AggregatorId
+    from repro.net import BackhaulLink, BackhaulMesh
+    from repro.sim import Simulator
+
+    def run_round():
+        sim = Simulator(seed=0)
+        mesh = BackhaulMesh(sim)
+        chain = Blockchain(authorized=set())
+        committee = [
+            NetworkedValidator(sim, AggregatorId(f"v{i}"), mesh)
+            for i in range(validators)
+        ]
+        for i, a in enumerate(committee):
+            for b in committee[i + 1:]:
+                mesh.connect(BackhaulLink(a.node_id, b.node_id, latency_s=0.001))
+        consensus = NetworkedPoaConsensus(sim, committee, chain)
+        outcomes = []
+        consensus.propose(RECORDS, lambda ok, lat: outcomes.append((ok, lat)))
+        sim.run()
+        return outcomes[0]
+
+    committed, latency = once(run_round)
+    print(f"\n{validators} validators: commit latency {latency * 1000:.2f} ms "
+          "(trusted aggregator: 0 ms)")
+    assert committed
+    # One proposal hop + processing + one vote hop, plus slack.
+    assert 0.004 <= latency <= 0.02
+
+
+def test_consensus_cost_table(once):
+    def sweep():
+        rows = []
+        for n in (2, 4, 8, 16):
+            chain = Blockchain()
+            consensus = PoaConsensus([Validator(f"v{i}") for i in range(n)], chain)
+            consensus.propose(0.0, RECORDS)
+            rows.append([n, consensus.messages_exchanged])
+        return rows
+
+    rows = once(sweep)
+    print()
+    print(render_table(["validators", "messages_per_block"], rows))
+    # O(n^2) growth: doubling validators roughly quadruples messages.
+    assert rows[-1][1] > 3.0 * rows[-2][1]

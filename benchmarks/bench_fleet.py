@@ -1,0 +1,87 @@
+"""A13 — fleet stress: many networks, many devices, mobility churn.
+
+A city-block-scale run: 6 networks x 6 devices with four devices
+continuously migrating between networks.  Asserts the architecture's
+global invariants hold under churn — ledger valid, every device billed,
+roaming consolidated, anomaly rate at noise level — and reports the
+simulation cost.
+"""
+
+import time
+
+from repro.ids import DeviceId
+from repro.workloads.mobility import MobilityTrace
+from repro.workloads.scenarios import build_scaled_scenario
+
+
+def test_fleet_with_mobility_churn(once):
+    def run():
+        scenario = build_scaled_scenario(
+            n_networks=6, devices_per_network=6, seed=77, enter_devices=True
+        )
+        # Four roamers hop to a neighbour network mid-run.
+        for i in range(4):
+            roamer = f"dev-{i}-0"
+            target = f"net-{(i + 1) % 6}"
+            device = scenario.device(roamer)
+            scenario.simulator.schedule(
+                15.0 + i, lambda d=device: d.leave_network()
+            )
+            scenario.simulator.schedule(
+                19.0 + i,
+                lambda d=device, t=target, s=scenario: d.enter_network(
+                    s.aggregator(t)
+                ),
+            )
+        start = time.perf_counter()
+        scenario.run_until(40.0)
+        wall = time.perf_counter() - start
+        return scenario, wall
+
+    scenario, wall = once(run)
+    scenario.chain.validate()
+    events = scenario.simulator.events_executed
+
+    # Every device has ledger records; roamers have roaming records.
+    for name, device in scenario.devices.items():
+        assert scenario.chain.records_for_device(device.device_id.uid), name
+    roaming = [
+        r
+        for block in scenario.chain
+        for r in block.records
+        if r.get("roaming")
+    ]
+    assert roaming
+    roamer_names = {r["device"] for r in roaming}
+    assert roamer_names == {f"dev-{i}-0" for i in range(4)}
+
+    # Network anomalies under churn are dominated by the *correct*
+    # alarms for unmetered consumption: a roamer electrically attached
+    # at its destination but still mid-registration (arrivals at
+    # t = 19..22 plus the ~6 s handshake) and the windows straddling a
+    # departure.  Outside those, only square-load-edge straddle noise
+    # remains, bounded at a couple of percent of all checks.
+    total_checks = sum(
+        u.verifier.stats.network_checks for u in scenario.aggregators.values()
+    )
+    assert total_checks > 500
+    anomaly_times = [
+        record.time
+        for record in scenario.simulator.trace.by_category("agg.network_anomaly")
+    ]
+    churn_windows = [(19.0 + i, 19.0 + i + 9.0) for i in range(4)] + [
+        (15.0 + i, 15.0 + i + 2.5) for i in range(4)
+    ]
+    strays = [
+        t for t in anomaly_times
+        if not any(lo <= t <= hi for lo, hi in churn_windows)
+    ]
+    assert anomaly_times  # the unmetered arrivals ARE detected
+    assert len(strays) <= 0.02 * total_checks
+
+    records = sum(b.header.record_count for b in scenario.chain)
+    print(
+        f"\nfleet: 36 devices / 6 networks / 40 s, {records} records, "
+        f"{scenario.chain.height} blocks, {events} events in {wall:.2f}s wall "
+        f"({events / max(wall, 1e-9):,.0f} events/s)"
+    )

@@ -1,0 +1,55 @@
+"""A4 — scalability: devices per aggregator and kernel throughput.
+
+Paper §II-A: "with limited time-slots for communication, the number of
+devices connected to an aggregator is also limited".  Sweeps the device
+count and reports wall-clock per simulated second plus slot occupancy.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import SlotAllocationError
+from repro.net.tdma import TdmaSchedule
+from repro.ids import DeviceId
+from repro.workloads.scenarios import build_scaled_scenario
+
+
+@pytest.mark.parametrize("devices", [2, 8, 16])
+def test_scaling_devices_per_network(once, devices):
+    def run():
+        scenario = build_scaled_scenario(
+            n_networks=2, devices_per_network=devices, seed=17
+        )
+        start = time.perf_counter()
+        scenario.run_until(12.0)
+        wall = time.perf_counter() - start
+        return scenario, wall
+
+    scenario, wall = once(run)
+    scenario.chain.validate()
+    registered = sum(
+        unit.registry.member_count for unit in scenario.aggregators.values()
+    )
+    events = scenario.simulator.events_executed
+    print(
+        f"\n{devices} devices/network: {registered} registered, "
+        f"{events} events, {wall:.2f}s wall for 12 simulated s"
+    )
+    assert registered == 2 * devices
+
+
+def test_tdma_capacity_is_the_limit(benchmark):
+    def fill():
+        schedule = TdmaSchedule(superframe_s=0.1, slot_count=16)
+        count = 0
+        try:
+            while True:
+                schedule.assign(DeviceId(f"d{count}"))
+                count += 1
+        except SlotAllocationError:
+            return count
+
+    capacity = benchmark(fill)
+    print(f"\ndevices admitted before slot exhaustion: {capacity}")
+    assert capacity == 16

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates the experiments run on.
+
+Not a paper artifact — these guard the reproduction itself: the kernel,
+hashing, Merkle trees and MQTT routing must stay fast enough that the
+paper-scale experiments run in seconds.
+"""
+
+from repro.chain.hashing import hash_value
+from repro.chain.merkle import MerkleTree
+from repro.net import ChannelParams, MqttBroker, MqttClient, WirelessChannel
+from repro.sim import Simulator
+
+RECORD = {
+    "device": "device1", "device_uid": "abc123", "sequence": 42,
+    "measured_at": 1.5, "interval_s": 0.1, "current_ma": 123.4,
+    "voltage_v": 3.3, "energy_mwh": 0.0113, "buffered": False,
+}
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator(trace=False)
+        count = [0]
+
+        def tick():
+            count[0] += 1
+
+        for i in range(10_000):
+            sim.schedule(i * 1e-4, tick)
+        sim.run()
+        return count[0]
+
+    executed = benchmark(run_10k_events)
+    assert executed == 10_000
+
+
+def test_canonical_hash_cost(benchmark):
+    digest = benchmark(hash_value, RECORD)
+    assert len(digest) == 64
+
+
+def test_merkle_tree_of_1000_records(benchmark):
+    records = [dict(RECORD, sequence=i) for i in range(1000)]
+
+    def build():
+        return MerkleTree(records).root
+
+    root = benchmark(build)
+    assert len(root) == 64
+
+
+def test_mqtt_routing_cost(benchmark):
+    sim = Simulator(trace=False)
+    broker = MqttBroker(sim, "broker", processing_latency_s=0.0)
+    hits = [0]
+    broker.subscribe("meter/+/report", lambda t, p: hits.__setitem__(0, hits[0] + 1))
+    for i in range(64):
+        broker.subscribe(f"device/d{i}/ctrl", lambda t, p: None)
+
+    def route_100():
+        for i in range(100):
+            broker.deliver(f"meter/d{i % 8}/report", RECORD)
+        sim.run()
+
+    benchmark(route_100)
+    assert hits[0] > 0
+
+
+def test_channel_rssi_and_per(benchmark):
+    channel = WirelessChannel(ChannelParams(), Simulator().rng.stream("c"))
+
+    def evaluate():
+        rssi = channel.rssi_dbm(25.0)
+        return channel.packet_error_rate(rssi)
+
+    per = benchmark(evaluate)
+    assert 0.0 <= per <= 1.0

@@ -1,0 +1,18 @@
+"""Shared benchmark helpers.
+
+Heavy simulation benches run once per benchmark (a full simulated run
+is itself thousands of kernel events; statistical repetition comes from
+seeded multi-run experiments, not from pytest-benchmark rounds).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

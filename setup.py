@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP-517
+editable installs (which run ``bdist_wheel``) fail.  This shim lets
+``pip install -e .`` take the legacy ``setup.py develop`` path.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

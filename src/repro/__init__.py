@@ -1,0 +1,59 @@
+"""repro — reproduction of "Real-Time Energy Monitoring in IoT-enabled
+Mobile Devices" (Shivaraman et al., DATE 2020).
+
+A decentralized, blockchain-backed energy-metering architecture for
+mobile IoT devices, rebuilt on a discrete-event simulation substrate.
+The public API re-exports the pieces a downstream user composes:
+
+>>> from repro import build_paper_testbed
+>>> scenario = build_paper_testbed(seed=7)
+>>> scenario.run_until(30.0)
+>>> scenario.chain.validate()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.aggregator import AggregatorConfig, AggregatorUnit
+from repro.billing import BillingEngine, FlatTariff, TimeOfUseTariff
+from repro.chain import Blockchain, audit_chain
+from repro.device import DeviceConfig, MeteringDevice
+from repro.experiments import (
+    run_fig5,
+    run_fig6,
+    run_handshake_distribution,
+)
+from repro.ids import AggregatorId, DeviceId, NetworkAddress
+from repro.sim import Simulator
+from repro.workloads import (
+    MobilityTrace,
+    Scenario,
+    build_paper_testbed,
+    build_scaled_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregatorConfig",
+    "AggregatorUnit",
+    "BillingEngine",
+    "FlatTariff",
+    "TimeOfUseTariff",
+    "Blockchain",
+    "audit_chain",
+    "DeviceConfig",
+    "MeteringDevice",
+    "run_fig5",
+    "run_fig6",
+    "run_handshake_distribution",
+    "AggregatorId",
+    "DeviceId",
+    "NetworkAddress",
+    "Simulator",
+    "MobilityTrace",
+    "Scenario",
+    "build_paper_testbed",
+    "build_scaled_scenario",
+    "__version__",
+]

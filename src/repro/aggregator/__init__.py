@@ -1,0 +1,33 @@
+"""Aggregator unit.
+
+The trusted per-network component of Fig. 1.  An
+:class:`~repro.aggregator.unit.AggregatorUnit` composes:
+
+* a membership registry (:mod:`repro.aggregator.membership`) holding
+  master and temporary memberships and handing out addresses/slots,
+* report verification (:mod:`repro.aggregator.verification`) built on
+  the anomaly detectors and the feeder ground truth,
+* windowed aggregation (:mod:`repro.aggregator.aggregation`) of device
+  reports for the complementary-measurement check,
+* a ledger writer (:mod:`repro.aggregator.ledger_writer`) batching
+  validated records into blocks of the common chain,
+* a roaming liaison (:mod:`repro.aggregator.roaming`) implementing the
+  backhaul half of the Fig. 3 sequences.
+"""
+
+from repro.aggregator.aggregation import ReportAggregator
+from repro.aggregator.ledger_writer import LedgerWriter
+from repro.aggregator.membership import MembershipRegistry, MembershipKind
+from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
+from repro.aggregator.verification import ReportVerifier, VerificationPolicy
+
+__all__ = [
+    "ReportAggregator",
+    "LedgerWriter",
+    "MembershipRegistry",
+    "MembershipKind",
+    "AggregatorConfig",
+    "AggregatorUnit",
+    "ReportVerifier",
+    "VerificationPolicy",
+]

@@ -1,0 +1,181 @@
+"""Membership registry.
+
+Tracks the two membership kinds of Fig. 3:
+
+* **master** — the device's home; "the home network retains the
+  membership of the device at all times unless there is a message to
+  remove it" (§II-C),
+* **temporary** — a roaming device hosted "as cost center" on behalf of
+  its master; "if the device moves out of Network 2, the temporary
+  membership is immediately discarded".
+
+The registry also owns address assignment and the TDMA slot grant, since
+both are bounded per-aggregator resources tied to membership lifetime.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MembershipError
+from repro.ids import AggregatorId, DeviceId, NetworkAddress
+from repro.net.tdma import TdmaSchedule
+
+
+class MembershipKind(enum.Enum):
+    """Master (home) or temporary (roaming) membership."""
+
+    MASTER = "master"
+    TEMPORARY = "temporary"
+
+
+@dataclass
+class Membership:
+    """One registry entry.
+
+    Attributes:
+        device_id: The member device.
+        kind: Master or temporary.
+        address: Address granted in this network.
+        master_address: For temporary members, the home address the data
+            is forwarded to; None for master members.
+        registered_at: Grant time.
+        last_report_at: Time of the newest accepted report (drives
+            temporary-membership expiry).
+    """
+
+    device_id: DeviceId
+    kind: MembershipKind
+    address: NetworkAddress
+    master_address: NetworkAddress | None
+    registered_at: float
+    last_report_at: float
+
+
+class MembershipRegistry:
+    """Address book + slot allocator of one aggregator.
+
+    Args:
+        aggregator_id: The owning aggregator (scopes the addresses).
+        tdma: Slot schedule; its capacity bounds member count.
+    """
+
+    def __init__(self, aggregator_id: AggregatorId, tdma: TdmaSchedule) -> None:
+        self._aggregator_id = aggregator_id
+        self._tdma = tdma
+        self._members: dict[DeviceId, Membership] = {}
+        self._next_host = 1
+
+    @property
+    def aggregator_id(self) -> AggregatorId:
+        """The owning aggregator."""
+        return self._aggregator_id
+
+    @property
+    def member_count(self) -> int:
+        """Total current members of both kinds."""
+        return len(self._members)
+
+    def members(self, kind: MembershipKind | None = None) -> list[Membership]:
+        """Current memberships, optionally filtered by kind."""
+        if kind is None:
+            return list(self._members.values())
+        return [m for m in self._members.values() if m.kind == kind]
+
+    def get(self, device_id: DeviceId) -> Membership | None:
+        """The membership of ``device_id`` here, or None."""
+        return self._members.get(device_id)
+
+    def is_master_member(self, device_id: DeviceId) -> bool:
+        """True when this aggregator is the device's home."""
+        member = self._members.get(device_id)
+        return member is not None and member.kind == MembershipKind.MASTER
+
+    def _allocate_address(self) -> NetworkAddress:
+        address = NetworkAddress(self._aggregator_id, self._next_host)
+        self._next_host += 1
+        return address
+
+    def register_master(self, device_id: DeviceId, at_time: float) -> Membership:
+        """Create a permanent (home) membership."""
+        existing = self._members.get(device_id)
+        if existing is not None:
+            if existing.kind == MembershipKind.MASTER:
+                return existing
+            raise MembershipError(
+                f"{device_id} already holds a temporary membership here"
+            )
+        self._tdma.assign(device_id)
+        member = Membership(
+            device_id=device_id,
+            kind=MembershipKind.MASTER,
+            address=self._allocate_address(),
+            master_address=None,
+            registered_at=at_time,
+            last_report_at=at_time,
+        )
+        self._members[device_id] = member
+        return member
+
+    def register_temporary(
+        self,
+        device_id: DeviceId,
+        master_address: NetworkAddress,
+        at_time: float,
+    ) -> Membership:
+        """Create a temporary (roaming) membership on behalf of a master."""
+        if master_address.aggregator == self._aggregator_id:
+            raise MembershipError(
+                f"{device_id} claims this aggregator as master; use register_master"
+            )
+        existing = self._members.get(device_id)
+        if existing is not None:
+            if existing.kind == MembershipKind.TEMPORARY:
+                return existing
+            raise MembershipError(f"{device_id} is a master member here")
+        self._tdma.assign(device_id)
+        member = Membership(
+            device_id=device_id,
+            kind=MembershipKind.TEMPORARY,
+            address=self._allocate_address(),
+            master_address=master_address,
+            registered_at=at_time,
+            last_report_at=at_time,
+        )
+        self._members[device_id] = member
+        return member
+
+    def touch(self, device_id: DeviceId, at_time: float) -> None:
+        """Record report activity (resets expiry for temporary members)."""
+        member = self._members.get(device_id)
+        if member is None:
+            raise MembershipError(f"{device_id} is not a member")
+        member.last_report_at = at_time
+
+    def remove(self, device_id: DeviceId) -> Membership:
+        """Delete a membership of either kind, releasing its slot."""
+        member = self._members.pop(device_id, None)
+        if member is None:
+            raise MembershipError(f"{device_id} is not a member")
+        self._tdma.release(device_id)
+        return member
+
+    def expire_temporaries(self, now: float, timeout_s: float) -> list[Membership]:
+        """Discard temporary members silent for longer than ``timeout_s``.
+
+        Implements "if the device moves out of Network 2, the temporary
+        membership is immediately discarded" — the host detects the move
+        by missing reports.
+        """
+        if timeout_s <= 0:
+            raise MembershipError(f"timeout must be positive, got {timeout_s}")
+        expired = [
+            m
+            for m in self._members.values()
+            if m.kind == MembershipKind.TEMPORARY
+            and now - m.last_report_at > timeout_s
+        ]
+        for member in expired:
+            self.remove(member.device_id)
+        return expired

@@ -1,0 +1,137 @@
+"""Roaming liaison: the backhaul half of the Fig. 3 sequences.
+
+Host side: when a foreign device requests temporary membership, the
+liaison asks the claimed master to vouch for it
+(:class:`~repro.protocol.messages.MembershipVerifyRequest`) and, once
+membership is granted, forwards every accepted report home as a cost
+center (:class:`~repro.protocol.messages.ForwardedConsumption`).
+
+Master side: answers verify requests from its registry and accepts
+forwarded consumption into its ledger queue, stamped ``roaming``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.ids import AggregatorId, DeviceId
+from repro.net.backhaul import BackhaulMesh
+from repro.protocol.messages import (
+    ConsumptionReport,
+    ForwardedConsumption,
+    MembershipVerifyRequest,
+    MembershipVerifyResponse,
+)
+
+# Called when a verify verdict arrives for a pending temporary registration.
+VerifyCallback = Callable[[MembershipVerifyResponse], None]
+
+
+@dataclass
+class RoamingStats:
+    """Counters the mobility experiments read."""
+
+    verify_requests_sent: int = 0
+    verify_requests_answered: int = 0
+    reports_forwarded: int = 0
+    forwarded_received: int = 0
+
+
+class RoamingLiaison:
+    """One aggregator's backhaul conversation state.
+
+    Args:
+        aggregator_id: The owning aggregator.
+        mesh: The backhaul network.
+    """
+
+    def __init__(self, aggregator_id: AggregatorId, mesh: BackhaulMesh) -> None:
+        self._aggregator_id = aggregator_id
+        self._mesh = mesh
+        self._pending_verifies: dict[DeviceId, VerifyCallback] = {}
+        self.stats = RoamingStats()
+
+    @property
+    def aggregator_id(self) -> AggregatorId:
+        """The owning aggregator."""
+        return self._aggregator_id
+
+    @property
+    def pending_verify_count(self) -> int:
+        """Verify requests awaiting a master's answer."""
+        return len(self._pending_verifies)
+
+    # -- host side -----------------------------------------------------
+
+    def request_verification(
+        self,
+        device_id: DeviceId,
+        claimed_master: AggregatorId,
+        on_verdict: VerifyCallback,
+    ) -> None:
+        """Ask ``claimed_master`` to vouch for ``device_id``."""
+        if device_id in self._pending_verifies:
+            # A re-sent registration while the first verify is in flight:
+            # keep the newest callback.
+            self._pending_verifies[device_id] = on_verdict
+            return
+        self._pending_verifies[device_id] = on_verdict
+        request = MembershipVerifyRequest(
+            device_id=device_id,
+            claimed_master=claimed_master,
+            host=self._aggregator_id,
+        )
+        self._mesh.send(self._aggregator_id, claimed_master, request)
+        self.stats.verify_requests_sent += 1
+
+    def forward_report(self, report: ConsumptionReport, master: AggregatorId) -> None:
+        """Send an accepted roaming report home as a cost center."""
+        self._mesh.send(
+            self._aggregator_id,
+            master,
+            ForwardedConsumption(report=report, host=self._aggregator_id),
+        )
+        self.stats.reports_forwarded += 1
+
+    def handle_verify_response(self, response: MembershipVerifyResponse) -> None:
+        """Dispatch an arriving verdict to the waiting registration."""
+        callback = self._pending_verifies.pop(response.device_id, None)
+        if callback is None:
+            raise ProtocolError(
+                f"unsolicited verify response for {response.device_id} "
+                f"at {self._aggregator_id}"
+            )
+        callback(response)
+
+    # -- master side ---------------------------------------------------
+
+    def answer_verification(
+        self,
+        request: MembershipVerifyRequest,
+        is_member: bool,
+    ) -> None:
+        """Reply to a host's verify request with the registry verdict."""
+        if request.claimed_master != self._aggregator_id:
+            raise ProtocolError(
+                f"verify request for master {request.claimed_master} "
+                f"arrived at {self._aggregator_id}"
+            )
+        response = MembershipVerifyResponse(
+            device_id=request.device_id,
+            master=self._aggregator_id,
+            valid=is_member,
+        )
+        self._mesh.send(self._aggregator_id, request.host, response)
+        self.stats.verify_requests_answered += 1
+
+    def note_forwarded_received(self) -> None:
+        """Count one forwarded report accepted from a host."""
+        self.stats.forwarded_received += 1
+
+    def send_remove(self, device_id: DeviceId, old_master: AggregatorId) -> None:
+        """Sequence 3: tell the old master to delete a transferred device."""
+        from repro.protocol.messages import RemoveDevice
+
+        self._mesh.send(self._aggregator_id, old_master, RemoveDevice(device_id))

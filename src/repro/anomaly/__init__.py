@@ -1,0 +1,48 @@
+"""Anomaly and tamper detection.
+
+Two halves:
+
+* :mod:`repro.anomaly.detectors` — the aggregator's report screens:
+  the ground-truth residual check the paper describes ("an additional
+  system-level complementary measurement (sum, average, etc.) ... to
+  detect anomalies in the reported value"), plus the related-work
+  baselines it cites: relative-variation-with-history [8-style] and an
+  entropy detector.
+* :mod:`repro.anomaly.tamper` — attack models that corrupt a device's
+  reports (scaling, offset, replay, drop) so detection experiments have
+  something to detect.
+* :mod:`repro.anomaly.attribution` — the paper's §IV "ground truth
+  problem": least-squares identification of *which* device is
+  misreporting, from the same windows the residual check consumes.
+"""
+
+from repro.anomaly.attribution import AttributionResult, DeviceAttributor
+from repro.anomaly.detectors import (
+    Detection,
+    EntropyDetector,
+    GroundTruthResidualDetector,
+    RangeDetector,
+    RelativeVariationDetector,
+)
+from repro.anomaly.tamper import (
+    DropAttack,
+    OffsetAttack,
+    ReplayAttack,
+    ScalingAttack,
+    TamperAttack,
+)
+
+__all__ = [
+    "AttributionResult",
+    "DeviceAttributor",
+    "Detection",
+    "EntropyDetector",
+    "GroundTruthResidualDetector",
+    "RangeDetector",
+    "RelativeVariationDetector",
+    "DropAttack",
+    "OffsetAttack",
+    "ReplayAttack",
+    "ScalingAttack",
+    "TamperAttack",
+]

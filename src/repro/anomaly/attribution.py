@@ -1,0 +1,167 @@
+"""Anomalous-device attribution — the paper's open "ground truth problem".
+
+§IV: "We also plan to address the ground truth problem to identify an
+anomalous device that reports data different from its actual
+consumption."  This module implements that plan.
+
+Idea: model each device ``i`` as reporting ``r_i = true_i / alpha_i``
+for an unknown per-device scale ``alpha_i`` (honest devices have
+``alpha_i = 1``; a meter-fraud device under-reports with
+``alpha_i > 1``).  The feeder measurement of window ``t`` satisfies
+
+    feeder_t ≈ (1 + loss) * sum_i alpha_i * r_{i,t} + c
+
+with ``c`` absorbing constant leakage and meter offset.  Stacking many
+windows gives an ordinary least-squares problem in ``(alpha_1..n, c)``;
+devices whose load patterns are linearly independent (different duty
+periods, different usage) make it well conditioned.  The estimate both
+*identifies* the fraudulent device and *recovers* its true consumption
+(``alpha_i * r_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnomalyError
+
+
+@dataclass(frozen=True)
+class AttributionResult:
+    """Outcome of a least-squares attribution.
+
+    Attributes:
+        alphas: Estimated report scale per device (1.0 = honest).
+        intercept: Estimated constant term (leakage + meter offset), mA.
+        residual_rms_ma: Fit quality; large values mean the linear
+            model does not explain the feeder (e.g. an unmetered load).
+        windows_used: Sample count behind the estimate.
+        suspicion_threshold: |alpha - 1| beyond which a device is
+            flagged.
+    """
+
+    alphas: dict[str, float]
+    intercept_ma: float
+    residual_rms_ma: float
+    windows_used: int
+    suspicion_threshold: float
+
+    @property
+    def suspects(self) -> list[str]:
+        """Devices whose scale deviates beyond the threshold, worst first."""
+        flagged = [
+            (abs(alpha - 1.0), name)
+            for name, alpha in self.alphas.items()
+            if abs(alpha - 1.0) > self.suspicion_threshold
+        ]
+        return [name for _, name in sorted(flagged, reverse=True)]
+
+    def recovered_true_ma(self, device: str, reported_ma: float) -> float:
+        """Estimate of the device's actual draw given one report."""
+        if device not in self.alphas:
+            raise AnomalyError(f"no alpha estimated for {device!r}")
+        return self.alphas[device] * reported_ma
+
+
+class DeviceAttributor:
+    """Accumulates (per-device reports, feeder) windows and fits alphas.
+
+    Args:
+        expected_loss_fraction: Known multiplicative wiring-loss bias.
+        min_windows: Minimum samples before :meth:`estimate` will run.
+        suspicion_threshold: |alpha - 1| that flags a device.
+        max_windows: Bounded history (oldest windows dropped).
+    """
+
+    def __init__(
+        self,
+        expected_loss_fraction: float = 0.04,
+        min_windows: int = 50,
+        suspicion_threshold: float = 0.15,
+        max_windows: int = 5000,
+    ) -> None:
+        if expected_loss_fraction < 0:
+            raise AnomalyError(
+                f"expected loss must be >= 0, got {expected_loss_fraction}"
+            )
+        if min_windows < 3:
+            raise AnomalyError(f"min_windows must be >= 3, got {min_windows}")
+        if suspicion_threshold <= 0:
+            raise AnomalyError(
+                f"suspicion threshold must be positive, got {suspicion_threshold}"
+            )
+        if max_windows < min_windows:
+            raise AnomalyError("max_windows must be >= min_windows")
+        self._loss = expected_loss_fraction
+        self._min_windows = min_windows
+        self._threshold = suspicion_threshold
+        self._max_windows = max_windows
+        self._windows: list[tuple[dict[str, float], float]] = []
+
+    @property
+    def window_count(self) -> int:
+        """Windows collected so far."""
+        return len(self._windows)
+
+    @property
+    def ready(self) -> bool:
+        """True once enough windows exist to estimate."""
+        return len(self._windows) >= self._min_windows
+
+    def add_window(self, reported_ma: dict[str, float], feeder_ma: float) -> None:
+        """Record one complete window (all members reported + feeder)."""
+        if not reported_ma:
+            raise AnomalyError("window must contain at least one device report")
+        if feeder_ma < 0:
+            raise AnomalyError(f"feeder current must be >= 0, got {feeder_ma}")
+        self._windows.append((dict(reported_ma), float(feeder_ma)))
+        if len(self._windows) > self._max_windows:
+            del self._windows[0]
+
+    def estimate(self) -> AttributionResult:
+        """Fit per-device alphas by ordinary least squares.
+
+        Raises :class:`~repro.errors.AnomalyError` when there is too
+        little data, or when the design matrix is too ill-conditioned to
+        attribute (devices with identical load shapes cannot be told
+        apart — attribution honestly refuses rather than guessing).
+        """
+        if not self.ready:
+            raise AnomalyError(
+                f"need >= {self._min_windows} windows, have {len(self._windows)}"
+            )
+        devices = sorted({name for reported, _ in self._windows for name in reported})
+        rows = []
+        targets = []
+        for reported, feeder in self._windows:
+            if set(reported) != set(devices):
+                continue  # partial windows cannot enter the fit
+            rows.append([(1.0 + self._loss) * reported[d] for d in devices] + [1.0])
+            targets.append(feeder)
+        if len(rows) < self._min_windows:
+            raise AnomalyError(
+                f"only {len(rows)} complete windows across all devices; "
+                f"need {self._min_windows}"
+            )
+        design = np.asarray(rows)
+        target = np.asarray(targets)
+        # Guard against indistinguishable load shapes.
+        condition = np.linalg.cond(design)
+        if condition > 1e6:
+            raise AnomalyError(
+                f"design matrix condition {condition:.1e} too high: device load "
+                "patterns are not distinguishable enough for attribution"
+            )
+        solution, _, _, _ = np.linalg.lstsq(design, target, rcond=None)
+        fitted = design @ solution
+        residual_rms = float(np.sqrt(np.mean((fitted - target) ** 2)))
+        alphas = {device: float(solution[i]) for i, device in enumerate(devices)}
+        return AttributionResult(
+            alphas=alphas,
+            intercept_ma=float(solution[-1]),
+            residual_rms_ma=residual_rms,
+            windows_used=len(rows),
+            suspicion_threshold=self._threshold,
+        )

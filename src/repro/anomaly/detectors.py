@@ -1,0 +1,187 @@
+"""Report anomaly detectors.
+
+All detectors share one tiny interface: feed observations, ask for a
+:class:`Detection` verdict.  The aggregator composes them into its
+verification pipeline; the A6 experiment sweeps attacks across them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import AnomalyError
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A detector verdict.
+
+    Attributes:
+        anomalous: The screened value is suspicious.
+        score: Detector-specific magnitude (bigger = more suspicious).
+        reason: Human-readable explanation for traces/logs.
+    """
+
+    anomalous: bool
+    score: float = 0.0
+    reason: str = ""
+
+
+class RangeDetector:
+    """Flat physical-plausibility screen.
+
+    A device whose sensor can read at most ``max_ma`` cannot honestly
+    report more; negative consumption is likewise impossible.
+    """
+
+    def __init__(self, max_ma: float = 400.0) -> None:
+        if max_ma <= 0:
+            raise AnomalyError(f"max current must be positive, got {max_ma}")
+        self._max_ma = max_ma
+
+    def screen(self, current_ma: float) -> Detection:
+        """Verdict for one reported current."""
+        if current_ma < 0:
+            return Detection(True, abs(current_ma), "negative consumption")
+        if current_ma > self._max_ma:
+            return Detection(
+                True, current_ma - self._max_ma, f"exceeds sensor range {self._max_ma} mA"
+            )
+        return Detection(False)
+
+
+class GroundTruthResidualDetector:
+    """The paper's complementary-measurement check (network level).
+
+    Compares the sum of device reports in a window against the feeder
+    meter's system-level measurement.  The residual has a *known
+    positive bias* (ohmic losses make the feeder read higher — that is
+    Fig. 5), so the detector takes an expected-loss fraction and flags
+    only residuals outside tolerance around it.
+    """
+
+    def __init__(
+        self,
+        expected_loss_fraction: float = 0.05,
+        tolerance_fraction: float = 0.08,
+    ) -> None:
+        if expected_loss_fraction < 0:
+            raise AnomalyError(
+                f"expected loss must be >= 0, got {expected_loss_fraction}"
+            )
+        if tolerance_fraction <= 0:
+            raise AnomalyError(f"tolerance must be positive, got {tolerance_fraction}")
+        self._expected_loss = expected_loss_fraction
+        self._tolerance = tolerance_fraction
+
+    def screen(self, reported_sum_ma: float, feeder_ma: float) -> Detection:
+        """Verdict for one window's (device-sum, feeder) pair."""
+        if feeder_ma <= 0:
+            # An idle feeder with nonzero reports is itself anomalous.
+            if reported_sum_ma > 0:
+                return Detection(True, reported_sum_ma, "reports on a dead feeder")
+            return Detection(False)
+        expected = feeder_ma / (1.0 + self._expected_loss)
+        residual = (reported_sum_ma - expected) / feeder_ma
+        if abs(residual) > self._tolerance:
+            direction = "under" if residual < 0 else "over"
+            return Detection(
+                True,
+                abs(residual),
+                f"device sum {direction}-reports feeder by {abs(residual):.1%}",
+            )
+        return Detection(False, abs(residual))
+
+
+class RelativeVariationDetector:
+    """History-based per-device screen (the [8]-style related work).
+
+    Tracks a rolling window of a device's reports; a new report whose
+    relative deviation from the rolling median exceeds the threshold is
+    flagged.  Catches sudden scaling/offset manipulation of a device
+    with an otherwise stable profile.
+    """
+
+    def __init__(self, window: int = 50, threshold: float = 0.5) -> None:
+        if window < 2:
+            raise AnomalyError(f"window must be >= 2, got {window}")
+        if threshold <= 0:
+            raise AnomalyError(f"threshold must be positive, got {threshold}")
+        self._window: deque[float] = deque(maxlen=window)
+        self._threshold = threshold
+
+    def screen(self, current_ma: float) -> Detection:
+        """Verdict for one report, then absorb it into the history."""
+        verdict = Detection(False)
+        if len(self._window) >= self._window.maxlen // 2:
+            ordered = sorted(self._window)
+            median = ordered[len(ordered) // 2]
+            if median > 1e-9:
+                deviation = abs(current_ma - median) / median
+                if deviation > self._threshold:
+                    verdict = Detection(
+                        True, deviation, f"deviates {deviation:.1%} from rolling median"
+                    )
+        self._window.append(current_ma)
+        return verdict
+
+
+class EntropyDetector:
+    """Entropy screen over quantised report history.
+
+    Genuine consumption has structured variation; a tampering device
+    replaying a constant (or a short repeated pattern) collapses the
+    empirical entropy of its report stream.  Flags when the entropy of
+    the recent window drops below ``min_entropy_bits``.
+    """
+
+    def __init__(
+        self,
+        window: int = 100,
+        bins: int = 16,
+        min_entropy_bits: float = 0.5,
+    ) -> None:
+        if window < 10:
+            raise AnomalyError(f"window must be >= 10, got {window}")
+        if bins < 2:
+            raise AnomalyError(f"bins must be >= 2, got {bins}")
+        if min_entropy_bits < 0:
+            raise AnomalyError(f"entropy floor must be >= 0, got {min_entropy_bits}")
+        self._window: deque[float] = deque(maxlen=window)
+        self._bins = bins
+        self._min_entropy_bits = min_entropy_bits
+
+    def entropy_bits(self) -> float:
+        """Empirical entropy of the current window (bits)."""
+        if len(self._window) < 2:
+            return float("inf")
+        lo, hi = min(self._window), max(self._window)
+        if hi - lo < 1e-9:
+            return 0.0
+        counts = [0] * self._bins
+        for value in self._window:
+            index = min(self._bins - 1, int((value - lo) / (hi - lo) * self._bins))
+            counts[index] += 1
+        total = len(self._window)
+        entropy = 0.0
+        for count in counts:
+            if count:
+                p = count / total
+                entropy -= p * math.log2(p)
+        return entropy
+
+    def screen(self, current_ma: float) -> Detection:
+        """Verdict for one report, then absorb it into the history."""
+        self._window.append(current_ma)
+        if len(self._window) < self._window.maxlen:
+            return Detection(False)
+        entropy = self.entropy_bits()
+        if entropy < self._min_entropy_bits:
+            return Detection(
+                True,
+                self._min_entropy_bits - entropy,
+                f"report entropy {entropy:.2f} bits below floor",
+            )
+        return Detection(False)

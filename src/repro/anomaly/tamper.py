@@ -1,0 +1,94 @@
+"""Tampering attack models.
+
+Each attack wraps a device's *reported* current stream — the physical
+consumption is untouched (that is the point of metering fraud: consume
+the same, report less).  The A6 experiment runs these against the
+detector suite; §IV names identifying such a device as future work, so
+the reproduction measures *detection*, not attribution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnomalyError
+
+
+class TamperAttack:
+    """Base: identity transformation of the reported value."""
+
+    name = "none"
+
+    def apply(self, reported_ma: float) -> float:
+        """Return the manipulated report for one true reading."""
+        return reported_ma
+
+
+class ScalingAttack(TamperAttack):
+    """Under-report by a constant factor (classic meter fraud)."""
+
+    name = "scaling"
+
+    def __init__(self, factor: float = 0.5) -> None:
+        if not 0.0 <= factor <= 1.0:
+            raise AnomalyError(f"scaling factor must be in [0, 1], got {factor}")
+        self._factor = factor
+
+    def apply(self, reported_ma: float) -> float:
+        return reported_ma * self._factor
+
+
+class OffsetAttack(TamperAttack):
+    """Subtract a constant from every report (clamped at zero)."""
+
+    name = "offset"
+
+    def __init__(self, offset_ma: float = 20.0) -> None:
+        if offset_ma < 0:
+            raise AnomalyError(f"offset must be >= 0, got {offset_ma}")
+        self._offset_ma = offset_ma
+
+    def apply(self, reported_ma: float) -> float:
+        return max(0.0, reported_ma - self._offset_ma)
+
+
+class ReplayAttack(TamperAttack):
+    """Freeze reporting at a captured value.
+
+    After ``capture_after`` honest reports, replays the value seen at
+    capture time forever — the constant pattern an entropy detector is
+    built for.
+    """
+
+    name = "replay"
+
+    def __init__(self, capture_after: int = 10) -> None:
+        if capture_after < 1:
+            raise AnomalyError(f"capture_after must be >= 1, got {capture_after}")
+        self._capture_after = capture_after
+        self._seen = 0
+        self._captured: float | None = None
+
+    def apply(self, reported_ma: float) -> float:
+        self._seen += 1
+        if self._captured is None:
+            if self._seen >= self._capture_after:
+                self._captured = reported_ma
+            return reported_ma
+        return self._captured
+
+
+class DropAttack(TamperAttack):
+    """Report zero every ``period``-th window (intermittent suppression)."""
+
+    name = "drop"
+
+    def __init__(self, period: int = 3) -> None:
+        if period < 2:
+            raise AnomalyError(f"period must be >= 2, got {period}")
+        self._period = period
+        self._count = 0
+
+    def apply(self, reported_ma: float) -> float:
+        self._count += 1
+        if self._count % self._period == 0:
+            return 0.0
+        return reported_ma

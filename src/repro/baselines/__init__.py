@@ -1,0 +1,14 @@
+"""Comparison baselines.
+
+* :mod:`repro.baselines.centralized` — state-of-the-art location-based
+  metering: one meter per building/feeder, no per-device attribution,
+  blind to devices that consume elsewhere (the paper's motivation).
+* :mod:`repro.baselines.naive_device` — in-device metering *without*
+  the aggregator's verification or the blockchain: what you get if you
+  trust device reports and a mutable log (the paper's threat model).
+"""
+
+from repro.baselines.centralized import CentralizedMeteringBaseline
+from repro.baselines.naive_device import NaiveDeviceLog
+
+__all__ = ["CentralizedMeteringBaseline", "NaiveDeviceLog"]

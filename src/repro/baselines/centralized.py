@@ -1,0 +1,84 @@
+"""Centralized (location-based) metering baseline.
+
+The incumbent: a single meter per feeder/building.  It sees the true
+total (plus its own sensor error) but cannot attribute consumption to
+devices, and bills whoever owns the *location* — a visiting e-scooter's
+charge lands on the host's bill.  The Fig. 5 experiment compares its
+network-level reading with the decentralized per-device sums; the
+mobility experiments show the attribution failure that motivates the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.grid.meter import FeederMeter
+from repro.monitoring.timeseries import TimeSeries
+from repro.sim.kernel import PeriodicTask, Simulator
+from repro.units import energy_mwh
+
+
+class CentralizedMeteringBaseline:
+    """Periodic feeder sampling with location-level energy accounting.
+
+    Args:
+        simulator: The kernel.
+        meter: The feeder meter of the instrumented location.
+        sample_interval_s: Sampling cadence.
+        voltage_v: Feeder voltage for the energy computation.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        meter: FeederMeter,
+        sample_interval_s: float = 0.1,
+        voltage_v: float = 5.0,
+    ) -> None:
+        self._sim = simulator
+        self._meter = meter
+        self._interval_s = sample_interval_s
+        self._voltage_v = voltage_v
+        self._series = TimeSeries(
+            f"centralized:{meter.network.network_id.name}", "mA"
+        )
+        self._energy_mwh = 0.0
+        self._task: PeriodicTask | None = None
+
+    @property
+    def series(self) -> TimeSeries:
+        """Sampled feeder current over time."""
+        return self._series
+
+    @property
+    def energy_mwh(self) -> float:
+        """Location-level energy accounted so far."""
+        return self._energy_mwh
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._task is None:
+            self._task = self._sim.every(self._interval_s, self._tick, label="centralized")
+
+    def stop(self) -> None:
+        """Halt sampling."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        measured = self._meter.measure_ma(self._sim.now)
+        self._series.append(self._sim.now, measured)
+        self._energy_mwh += energy_mwh(measured, self._voltage_v, self._interval_s)
+
+    def attribute_to_device(self, device_name: str) -> None:
+        """Per-device attribution — impossible by construction.
+
+        Raises ``NotImplementedError`` deliberately: the baseline's
+        defining limitation, kept as an executable statement so tests
+        document it.
+        """
+        raise NotImplementedError(
+            "centralized metering cannot attribute consumption to "
+            f"individual devices such as {device_name!r}; this is the "
+            "limitation the decentralized architecture removes"
+        )

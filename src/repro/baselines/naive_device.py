@@ -1,0 +1,58 @@
+"""Naive in-device metering baseline (no verification, mutable log).
+
+Devices self-report into a plain list.  Nothing validates the reports
+against a ground truth and nothing protects the stored data — an
+attacker with storage access can rewrite history undetected.  The E6
+experiment contrasts this with the blockchain's audit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import StorageError
+
+
+class NaiveDeviceLog:
+    """A mutable consumption log with no integrity protection."""
+
+    def __init__(self) -> None:
+        self._records: list[dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Store one self-reported record, unverified."""
+        self._records.append(dict(record))
+
+    def records(self) -> list[dict[str, Any]]:
+        """All stored records (shallow copies)."""
+        return [dict(r) for r in self._records]
+
+    def total_energy_mwh(self, device: str | None = None) -> float:
+        """Sum of stored energy, optionally for one device."""
+        return sum(
+            float(r.get("energy_mwh", 0.0))
+            for r in self._records
+            if device is None or r.get("device") == device
+        )
+
+    def tamper(self, index: int, **changes: Any) -> None:
+        """Mutate a stored record in place — succeeds silently.
+
+        The whole point of the baseline: this operation leaves no trace,
+        whereas the same mutation on the blockchain trips the audit.
+        """
+        if not 0 <= index < len(self._records):
+            raise StorageError(f"no record at index {index}")
+        self._records[index].update(changes)
+
+    def audit(self) -> bool:
+        """A 'no-op audit' that always reports clean.
+
+        There is no redundancy to check against; returns True whatever
+        happened.  Kept executable so the E6 comparison reads directly
+        from code.
+        """
+        return True

@@ -1,0 +1,27 @@
+"""Billing engine.
+
+The architecture "enables billing at the home network" with roaming
+consumption consolidated there (§II-C).  The engine prices ledger
+records under a tariff and produces per-device invoices that break out
+home vs roaming consumption.
+"""
+
+from repro.billing.engine import BillingEngine
+from repro.billing.invoice import Invoice, InvoiceLine
+from repro.billing.losses import LossAllocation, allocate_losses
+from repro.billing.settlement import SettlementEngine, SettlementEntry, SettlementMatrix
+from repro.billing.tariff import FlatTariff, Tariff, TimeOfUseTariff
+
+__all__ = [
+    "BillingEngine",
+    "Invoice",
+    "InvoiceLine",
+    "LossAllocation",
+    "allocate_losses",
+    "SettlementEngine",
+    "SettlementEntry",
+    "SettlementMatrix",
+    "FlatTariff",
+    "Tariff",
+    "TimeOfUseTariff",
+]

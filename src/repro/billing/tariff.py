@@ -1,0 +1,73 @@
+"""Tariff models.
+
+A tariff maps a timestamp to a price per mWh.  Two concrete forms cover
+the experiments: a flat price and a repeating time-of-use schedule
+(peak / off-peak), which the device's schedule optimizer plans against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import BillingError
+
+
+class Tariff(Protocol):
+    """Anything that can price energy at a point in time."""
+
+    def price_per_mwh(self, at_time: float) -> float:
+        """Price of one mWh consumed at ``at_time``."""
+        ...
+
+
+@dataclass(frozen=True)
+class FlatTariff:
+    """One constant price."""
+
+    rate_per_mwh: float = 0.0002
+
+    def __post_init__(self) -> None:
+        if self.rate_per_mwh < 0:
+            raise BillingError(f"rate must be >= 0, got {self.rate_per_mwh}")
+
+    def price_per_mwh(self, at_time: float) -> float:
+        """Constant price regardless of time."""
+        return self.rate_per_mwh
+
+
+@dataclass(frozen=True)
+class TimeOfUseTariff:
+    """Repeating peak / off-peak schedule.
+
+    Attributes:
+        period_s: Schedule repetition period (e.g. 86400 for daily).
+        peak_start_s: Peak window start, offset into the period.
+        peak_end_s: Peak window end, offset into the period.
+        peak_rate: Price inside the peak window.
+        offpeak_rate: Price outside it.
+    """
+
+    period_s: float = 86400.0
+    peak_start_s: float = 8 * 3600.0
+    peak_end_s: float = 20 * 3600.0
+    peak_rate: float = 0.0004
+    offpeak_rate: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise BillingError(f"period must be positive, got {self.period_s}")
+        if not 0 <= self.peak_start_s < self.peak_end_s <= self.period_s:
+            raise BillingError(
+                f"peak window [{self.peak_start_s}, {self.peak_end_s}] "
+                f"must fit in period {self.period_s}"
+            )
+        if self.peak_rate < 0 or self.offpeak_rate < 0:
+            raise BillingError("rates must be >= 0")
+
+    def price_per_mwh(self, at_time: float) -> float:
+        """Peak or off-peak price depending on the period offset."""
+        offset = at_time % self.period_s
+        if self.peak_start_s <= offset < self.peak_end_s:
+            return self.peak_rate
+        return self.offpeak_rate

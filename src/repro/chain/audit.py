@@ -1,0 +1,73 @@
+"""Tamper detection over stored chains.
+
+The claim under test (experiment E6): any post-hoc mutation of stored
+consumption data is detectable.  The auditor re-derives every hash from
+the stored bytes and reports the first height at which the chain breaks,
+plus every individually inconsistent block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.hashing import GENESIS_HASH
+from repro.chain.ledger import Blockchain
+from repro.errors import BlockValidationError
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Outcome of a full-chain audit.
+
+    Attributes:
+        height: Chain length at audit time.
+        clean: True when every check passed.
+        broken_links: Heights whose previous-hash link does not match.
+        invalid_blocks: Heights whose internal structure is inconsistent
+            (Merkle root, record count, or stored hash).
+        first_bad_height: Earliest problem, or None when clean.
+    """
+
+    height: int
+    broken_links: tuple[int, ...] = field(default=())
+    invalid_blocks: tuple[int, ...] = field(default=())
+
+    @property
+    def clean(self) -> bool:
+        """True when no problem was found."""
+        return not self.broken_links and not self.invalid_blocks
+
+    @property
+    def first_bad_height(self) -> int | None:
+        """Earliest height with any problem, or None."""
+        candidates = list(self.broken_links) + list(self.invalid_blocks)
+        if not candidates:
+            return None
+        return min(candidates)
+
+
+def audit_chain(chain: Blockchain) -> AuditReport:
+    """Re-verify every block and link of ``chain``.
+
+    Unlike :meth:`Blockchain.validate`, which raises at the first
+    problem, the audit walks the whole chain and reports everything it
+    finds — an auditor wants the full damage picture, not the first
+    symptom.
+    """
+    broken_links: list[int] = []
+    invalid_blocks: list[int] = []
+    previous_hash = GENESIS_HASH
+    for height in range(chain.height):
+        block = chain.get(height)
+        try:
+            block.validate_structure()
+        except BlockValidationError:
+            invalid_blocks.append(height)
+        if block.header.previous_hash != previous_hash or block.header.height != height:
+            broken_links.append(height)
+        previous_hash = block.block_hash
+    return AuditReport(
+        height=chain.height,
+        broken_links=tuple(broken_links),
+        invalid_blocks=tuple(invalid_blocks),
+    )

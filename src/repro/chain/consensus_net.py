@@ -1,0 +1,242 @@
+"""Consensus over the simulated network — latency-aware PoA rounds.
+
+:mod:`repro.chain.consensus` prices consensus in *messages*; this module
+prices it in *time*.  Validators live on the backhaul mesh; a round is:
+
+1. the proposer broadcasts the proposal (one mesh send per validator),
+2. each validator evaluates after a processing delay and broadcasts its
+   vote,
+3. the proposer commits once a strict 2/3 quorum of accepts arrived.
+
+The commit latency — proposal propagation + processing + vote
+propagation — is what a fully decentralized deployment would add to
+every block, compared to the trusted aggregator's zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.chain.hashing import hash_value
+from repro.chain.ledger import Blockchain
+from repro.errors import ConsensusError
+from repro.ids import AggregatorId
+from repro.net.backhaul import BackhaulMesh
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+RecordCheck = Callable[[list[dict[str, Any]]], bool]
+CommitCallback = Callable[[bool, float], None]
+
+
+@dataclass(frozen=True)
+class _Proposal:
+    round_id: int
+    proposal_hash: str
+    records: tuple[dict[str, Any], ...]
+    timestamp: float
+    proposer: AggregatorId
+
+
+@dataclass(frozen=True)
+class _NetVote:
+    round_id: int
+    proposal_hash: str
+    voter: AggregatorId
+    accept: bool
+
+
+class NetworkedValidator(Process):
+    """A consensus participant attached to the mesh.
+
+    Args:
+        simulator: The kernel.
+        node_id: This validator's mesh identity.
+        mesh: The backhaul network.
+        check: Acceptance predicate over proposed record batches.
+        processing_delay_s: Local evaluation time per proposal.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node_id: AggregatorId,
+        mesh: BackhaulMesh,
+        check: RecordCheck | None = None,
+        processing_delay_s: float = 0.002,
+    ) -> None:
+        super().__init__(simulator, f"validator:{node_id.name}")
+        if processing_delay_s < 0:
+            raise ConsensusError(
+                f"processing delay must be >= 0, got {processing_delay_s}"
+            )
+        self._node_id = node_id
+        self._mesh = mesh
+        self._check = check or (lambda records: True)
+        self._processing_delay_s = processing_delay_s
+        self._coordinator: "NetworkedPoaConsensus | None" = None
+        mesh.add_aggregator(node_id, self._on_message)
+
+    @property
+    def node_id(self) -> AggregatorId:
+        """This validator's mesh identity."""
+        return self._node_id
+
+    @property
+    def mesh(self) -> BackhaulMesh:
+        """The network this validator communicates over."""
+        return self._mesh
+
+    @property
+    def processing_delay_s(self) -> float:
+        """Local proposal-evaluation time."""
+        return self._processing_delay_s
+
+    def evaluate(self, proposal: "_Proposal") -> None:
+        """Evaluate a proposal and emit the vote (public entry point)."""
+        self._vote(proposal)
+
+    def bind(self, coordinator: "NetworkedPoaConsensus") -> None:
+        """Attach the round coordinator (done by the consensus object)."""
+        self._coordinator = coordinator
+
+    def _on_message(self, source: AggregatorId, payload: Any) -> None:
+        if isinstance(payload, _Proposal):
+            self.sim.call_later(
+                self._processing_delay_s,
+                lambda: self._vote(payload),
+                label=f"{self.name}:evaluate",
+            )
+        elif isinstance(payload, _NetVote):
+            if self._coordinator is not None:
+                self._coordinator.receive_vote(self._node_id, payload)
+        else:
+            raise ConsensusError(
+                f"unexpected consensus payload {type(payload).__name__}"
+            )
+
+    def _vote(self, proposal: _Proposal) -> None:
+        accept = bool(self._check(list(proposal.records)))
+        vote = _NetVote(proposal.round_id, proposal.proposal_hash, self._node_id, accept)
+        self.trace("consensus.vote", round=proposal.round_id, accept=accept)
+        # Vote goes to the proposer (commit decision is the proposer's).
+        if proposal.proposer == self._node_id:
+            if self._coordinator is not None:
+                self._coordinator.receive_vote(self._node_id, vote)
+        else:
+            self._mesh.send(self._node_id, proposal.proposer, vote)
+
+
+class NetworkedPoaConsensus(Process):
+    """Round coordinator measuring commit latency over the mesh.
+
+    Args:
+        simulator: The kernel.
+        validators: Validator set (order = proposer rotation).
+        chain: Ledger committed blocks land in.
+        quorum_ratio: Strict-greater-than accept fraction.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        validators: list[NetworkedValidator],
+        chain: Blockchain,
+        quorum_ratio: float = 2.0 / 3.0,
+    ) -> None:
+        super().__init__(simulator, "networked-consensus")
+        if not validators:
+            raise ConsensusError("validator set must be non-empty")
+        if not 0.0 < quorum_ratio < 1.0:
+            raise ConsensusError(f"quorum ratio must be in (0, 1), got {quorum_ratio}")
+        self._validators = list(validators)
+        self._chain = chain
+        self._quorum_ratio = quorum_ratio
+        self._round = 0
+        self._pending: dict[int, dict[str, Any]] = {}
+        for validator in validators:
+            validator.bind(self)
+            chain.authorize(validator.node_id.name)
+
+    @property
+    def rounds_started(self) -> int:
+        """Rounds proposed so far."""
+        return self._round
+
+    def propose(
+        self,
+        records: list[dict[str, Any]],
+        on_commit: CommitCallback,
+    ) -> int:
+        """Start a round; ``on_commit(committed, latency_s)`` fires once.
+
+        Returns the round id.
+        """
+        round_id = self._round
+        self._round += 1
+        proposer = self._validators[round_id % len(self._validators)]
+        proposal = _Proposal(
+            round_id=round_id,
+            proposal_hash=hash_value({"round": round_id, "records": records}),
+            records=tuple(records),
+            timestamp=self.now,
+            proposer=proposer.node_id,
+        )
+        self._pending[round_id] = {
+            "proposal": proposal,
+            "accepts": 0,
+            "rejects": 0,
+            "voted": set(),
+            "started_at": self.now,
+            "callback": on_commit,
+            "decided": False,
+        }
+        mesh = proposer.mesh
+        for validator in self._validators:
+            if validator.node_id != proposer.node_id:
+                mesh.send(proposer.node_id, validator.node_id, proposal)
+        # The proposer evaluates its own proposal too.
+        self.sim.call_later(
+            proposer.processing_delay_s,
+            lambda: proposer.evaluate(proposal),
+            label="consensus:self-vote",
+        )
+        return round_id
+
+    def receive_vote(self, receiver: AggregatorId, vote: _NetVote) -> None:
+        """Tally one vote (called by the proposer's message handler)."""
+        state = self._pending.get(vote.round_id)
+        if state is None or state["decided"]:
+            return
+        if vote.voter in state["voted"]:
+            return
+        state["voted"].add(vote.voter)
+        if vote.accept:
+            state["accepts"] += 1
+        else:
+            state["rejects"] += 1
+        total = len(self._validators)
+        quorum = self._quorum_ratio * total
+        if state["accepts"] > quorum:
+            self._decide(vote.round_id, committed=True)
+        elif total - state["rejects"] <= quorum:
+            # Even unanimous remaining accepts cannot reach quorum.
+            self._decide(vote.round_id, committed=False)
+
+    def _decide(self, round_id: int, committed: bool) -> None:
+        state = self._pending.pop(round_id)
+        state["decided"] = True
+        latency = self.now - state["started_at"]
+        proposal: _Proposal = state["proposal"]
+        if committed:
+            self._chain.append(
+                proposal.proposer.name, proposal.timestamp, list(proposal.records)
+            )
+        self.trace(
+            "consensus.decided",
+            round=round_id,
+            committed=committed,
+            latency_s=latency,
+        )
+        state["callback"](committed, latency)

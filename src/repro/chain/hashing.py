@@ -1,0 +1,54 @@
+"""Canonical serialisation and hashing.
+
+Hash stability is the whole point of the ledger, so serialisation must be
+canonical: dictionaries are emitted with sorted keys, floats with ``repr``
+round-trip fidelity, and no whitespace variation.  Any Python structure
+of dicts/lists/str/int/float/bool/None can be hashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ChainError
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte serialisation of a JSON-compatible value."""
+    try:
+        text = json.dumps(
+            value,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+            ensure_ascii=True,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ChainError(f"value is not canonically serialisable: {exc}") from exc
+    return text.encode("utf-8")
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex-encoded SHA-256 of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_value(value: Any) -> str:
+    """Hex-encoded SHA-256 of a JSON-compatible value."""
+    return sha256_hex(canonical_bytes(value))
+
+
+def chain_hash(previous_hash: str, payload: Any) -> str:
+    """Hash linking a payload to its predecessor block.
+
+    Mirrors the paper: "the hash of a new block is created from the
+    reported data and the hash of the previous block".
+    """
+    if len(previous_hash) != 64:
+        raise ChainError(f"previous hash must be 64 hex chars, got {previous_hash!r}")
+    return sha256_hex(previous_hash.encode("ascii") + canonical_bytes(payload))
+
+
+GENESIS_HASH = "0" * 64

@@ -1,0 +1,139 @@
+"""The permissioned blockchain (hash chain without consensus).
+
+Only trusted aggregators append; "since the aggregator is trusted and
+validates the data, there is no consensus required among devices"
+(§II-A).  Blocks from all aggregators form one *common* chain — in the
+reproduction each append names the creating aggregator, so a single
+:class:`Blockchain` instance can be shared by many aggregators (the
+common permissioned chain) or instantiated per aggregator for isolation
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.chain.block import Block
+from repro.chain.hashing import GENESIS_HASH
+from repro.chain.store import BlockStore, InMemoryBlockStore
+from repro.errors import BlockValidationError, ChainError
+
+
+class Blockchain:
+    """Append-only chain of validated consumption blocks.
+
+    Args:
+        store: Storage backend; defaults to in-memory.
+        authorized: Optional set of aggregator names allowed to append
+            (the "permissioned" part).  ``None`` allows any appender.
+    """
+
+    def __init__(
+        self,
+        store: BlockStore | None = None,
+        authorized: set[str] | None = None,
+    ) -> None:
+        self._store = store or InMemoryBlockStore()
+        self._authorized = set(authorized) if authorized is not None else None
+        existing = self._store.height()
+        if existing > 0:
+            tip = self._store.get(existing - 1)
+            self._tip_hash = tip.block_hash
+        else:
+            self._tip_hash = GENESIS_HASH
+
+    @property
+    def height(self) -> int:
+        """Number of blocks in the chain."""
+        return self._store.height()
+
+    @property
+    def tip_hash(self) -> str:
+        """Hash of the newest block (genesis sentinel when empty)."""
+        return self._tip_hash
+
+    def is_authorized(self, aggregator: str) -> bool:
+        """Whether ``aggregator`` may append to this chain."""
+        return self._authorized is None or aggregator in self._authorized
+
+    def authorize(self, aggregator: str) -> None:
+        """Grant append permission (no-op for an open chain)."""
+        if self._authorized is not None:
+            self._authorized.add(aggregator)
+
+    def append(
+        self,
+        aggregator: str,
+        timestamp: float,
+        records: list[dict[str, Any]],
+    ) -> Block:
+        """Create and append the next block.
+
+        Raises :class:`~repro.errors.ChainError` if the aggregator is not
+        authorized.  Empty record lists are allowed (an interval with no
+        validated reports still advances the chain, keeping block cadence
+        observable).
+        """
+        if not self.is_authorized(aggregator):
+            raise ChainError(f"aggregator {aggregator!r} is not authorized to append")
+        block = Block.create(
+            height=self.height,
+            previous_hash=self._tip_hash,
+            aggregator=aggregator,
+            timestamp=timestamp,
+            records=records,
+        )
+        self._store.put(block)
+        self._tip_hash = block.block_hash
+        return block
+
+    def get(self, height: int) -> Block:
+        """Fetch the block at ``height``."""
+        return self._store.get(height)
+
+    def __iter__(self) -> Iterator[Block]:
+        for height in range(self.height):
+            yield self._store.get(height)
+
+    def __len__(self) -> int:
+        return self.height
+
+    def validate(self) -> None:
+        """Walk the whole chain, checking structure and linkage.
+
+        Raises :class:`~repro.errors.BlockValidationError` at the first
+        broken block.
+        """
+        previous_hash = GENESIS_HASH
+        for height in range(self.height):
+            block = self._store.get(height)
+            if block.header.height != height:
+                raise BlockValidationError(
+                    f"block at position {height} claims height {block.header.height}"
+                )
+            if block.header.previous_hash != previous_hash:
+                raise BlockValidationError(
+                    f"block {height}: previous-hash link broken"
+                )
+            block.validate_structure()
+            previous_hash = block.block_hash
+        if self.height > 0 and previous_hash != self._tip_hash:
+            raise BlockValidationError("tip hash does not match last block")
+
+    def records_for_device(self, device_uid: str) -> list[dict[str, Any]]:
+        """All stored records of one device, in chain order."""
+        found: list[dict[str, Any]] = []
+        for block in self:
+            for record in block.records:
+                if record.get("device_uid") == device_uid:
+                    found.append(record)
+        return found
+
+    def total_energy_mwh(self, device_uid: str | None = None) -> float:
+        """Sum of stored energy, optionally filtered to one device."""
+        total = 0.0
+        for block in self:
+            for record in block.records:
+                if device_uid is None or record.get("device_uid") == device_uid:
+                    total += float(record.get("energy_mwh", 0.0))
+        return total

@@ -1,0 +1,97 @@
+"""Merkle tree over a block's measurement records.
+
+A block created by an aggregator batches every validated report of one
+interval.  Committing to a Merkle root (rather than a flat hash of the
+list) lets a device or auditor verify inclusion of a single record with
+an O(log n) proof — useful for billing disputes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chain.hashing import canonical_bytes, sha256_hex
+from repro.errors import ChainError
+
+_EMPTY_ROOT = sha256_hex(b"merkle-empty")
+
+
+def _leaf_hash(record: Any) -> str:
+    return sha256_hex(b"\x00" + canonical_bytes(record))
+
+
+def _node_hash(left: str, right: str) -> str:
+    return sha256_hex(b"\x01" + left.encode("ascii") + right.encode("ascii"))
+
+
+def merkle_root(records: list[Any]) -> str:
+    """Merkle root of a record list (deterministic, duplicate-last pairing)."""
+    return MerkleTree(records).root
+
+
+class MerkleTree:
+    """Merkle tree with inclusion proofs.
+
+    Leaf and interior hashes use distinct domain-separation prefixes so a
+    leaf can never be confused with a node (second-preimage hardening).
+    """
+
+    def __init__(self, records: list[Any]) -> None:
+        self._levels: list[list[str]] = []
+        leaves = [_leaf_hash(r) for r in records]
+        if leaves:
+            self._levels.append(leaves)
+            current = leaves
+            while len(current) > 1:
+                nxt = []
+                for i in range(0, len(current), 2):
+                    left = current[i]
+                    right = current[i + 1] if i + 1 < len(current) else current[i]
+                    nxt.append(_node_hash(left, right))
+                self._levels.append(nxt)
+                current = nxt
+
+    @property
+    def root(self) -> str:
+        """The tree's root hash (a fixed sentinel for an empty tree)."""
+        if not self._levels:
+            return _EMPTY_ROOT
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of records committed."""
+        if not self._levels:
+            return 0
+        return len(self._levels[0])
+
+    def proof(self, index: int) -> list[tuple[str, str]]:
+        """Inclusion proof for leaf ``index`` as (side, hash) pairs.
+
+        ``side`` is ``"L"`` when the sibling goes on the left of the
+        running hash, ``"R"`` when on the right.
+        """
+        if not self._levels or not 0 <= index < len(self._levels[0]):
+            raise ChainError(f"leaf index {index} out of range")
+        path: list[tuple[str, str]] = []
+        i = index
+        for level in self._levels[:-1]:
+            sibling_index = i ^ 1
+            sibling = level[sibling_index] if sibling_index < len(level) else level[i]
+            side = "L" if sibling_index < i else "R"
+            path.append((side, sibling))
+            i //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(record: Any, proof: list[tuple[str, str]], root: str) -> bool:
+        """Check that ``record`` is committed under ``root`` by ``proof``."""
+        running = _leaf_hash(record)
+        for side, sibling in proof:
+            if side == "L":
+                running = _node_hash(sibling, running)
+            elif side == "R":
+                running = _node_hash(running, sibling)
+            else:
+                raise ChainError(f"proof side must be 'L' or 'R', got {side!r}")
+        return running == root

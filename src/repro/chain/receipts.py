@@ -1,0 +1,116 @@
+"""Inclusion receipts: O(log n) proofs that a record is in the ledger.
+
+A device (or its owner, disputing a bill) should not have to trust the
+aggregator's word that a consumption record was stored: the block's
+Merkle root commits to every record, so the aggregator can issue a
+*receipt* — the record, its inclusion proof, and the block coordinates —
+that anyone holding the block headers can verify offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chain.ledger import Blockchain
+from repro.chain.merkle import MerkleTree
+from repro.errors import ChainError
+
+
+@dataclass(frozen=True)
+class InclusionReceipt:
+    """Proof that one record is committed in one block.
+
+    Attributes:
+        block_height: Height of the containing block.
+        block_hash: That block's hash (binds the receipt to the chain).
+        merkle_root: The block's record commitment.
+        record: The committed record itself.
+        proof: Merkle inclusion path (side, sibling-hash pairs).
+    """
+
+    block_height: int
+    block_hash: str
+    merkle_root: str
+    record: dict[str, Any]
+    proof: tuple[tuple[str, str], ...]
+
+    def verify(self, chain: Blockchain | None = None) -> bool:
+        """Check the receipt.
+
+        Without ``chain``: verifies the Merkle proof against the
+        receipt's own root (enough when the verifier already trusts the
+        header).  With ``chain``: additionally checks the root and hash
+        against the live ledger, so a receipt referencing a forged or
+        re-written block fails.
+        """
+        if not MerkleTree.verify_proof(self.record, list(self.proof), self.merkle_root):
+            return False
+        if chain is not None:
+            if not 0 <= self.block_height < chain.height:
+                return False
+            block = chain.get(self.block_height)
+            if block.block_hash != self.block_hash:
+                return False
+            if block.header.merkle_root != self.merkle_root:
+                return False
+        return True
+
+
+def receipt_to_dict(receipt: InclusionReceipt) -> dict[str, Any]:
+    """JSON form for transport inside protocol messages."""
+    return {
+        "block_height": receipt.block_height,
+        "block_hash": receipt.block_hash,
+        "merkle_root": receipt.merkle_root,
+        "record": dict(receipt.record),
+        "proof": [[side, sibling] for side, sibling in receipt.proof],
+    }
+
+
+def receipt_from_dict(data: dict[str, Any]) -> InclusionReceipt:
+    """Rebuild a receipt from its transported form."""
+    try:
+        return InclusionReceipt(
+            block_height=int(data["block_height"]),
+            block_hash=str(data["block_hash"]),
+            merkle_root=str(data["merkle_root"]),
+            record=dict(data["record"]),
+            proof=tuple((side, sibling) for side, sibling in data["proof"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ChainError(f"malformed receipt payload: {exc}") from exc
+
+
+def issue_receipt(chain: Blockchain, block_height: int, record_index: int) -> InclusionReceipt:
+    """Build the receipt for one record position."""
+    block = chain.get(block_height)
+    if not 0 <= record_index < len(block.records):
+        raise ChainError(
+            f"block {block_height} has no record index {record_index}"
+        )
+    tree = MerkleTree(list(block.records))
+    return InclusionReceipt(
+        block_height=block_height,
+        block_hash=block.block_hash,
+        merkle_root=block.header.merkle_root,
+        record=dict(block.records[record_index]),
+        proof=tuple(tree.proof(record_index)),
+    )
+
+
+def find_and_issue(
+    chain: Blockchain, device_uid: str, sequence: int
+) -> InclusionReceipt:
+    """Locate a device's record by sequence and issue its receipt."""
+    for height in range(chain.height):
+        block = chain.get(height)
+        for index, record in enumerate(block.records):
+            if (
+                record.get("device_uid") == device_uid
+                and record.get("sequence") == sequence
+            ):
+                return issue_receipt(chain, height, index)
+    raise ChainError(
+        f"no record for device {device_uid} sequence {sequence} in the chain"
+    )

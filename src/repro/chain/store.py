@@ -1,0 +1,125 @@
+"""Block storage backends.
+
+The ledger only needs ``put`` / ``get`` / ``height``.  Two backends:
+
+* :class:`InMemoryBlockStore` — the default for simulations,
+* :class:`JsonlBlockStore` — one JSON document per line on disk, so a
+  ledger survives the process and external tools can inspect it.
+
+Stores are *dumb on purpose*: they keep whatever bytes they are given.
+Detecting that stored data was mutated is the auditor's job
+(:mod:`repro.chain.audit`) — that separation is what the tamper
+experiments exercise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Protocol
+
+from repro.chain.block import Block
+from repro.errors import ChainError
+
+
+class BlockStore(Protocol):
+    """Minimal storage interface the ledger depends on."""
+
+    def height(self) -> int:
+        """Number of stored blocks."""
+        ...
+
+    def put(self, block: Block) -> None:
+        """Append one block (must be at index == height())."""
+        ...
+
+    def get(self, height: int) -> Block:
+        """Fetch the block stored at ``height``."""
+        ...
+
+
+class InMemoryBlockStore:
+    """List-backed store; the default for simulation runs."""
+
+    def __init__(self) -> None:
+        self._blocks: list[Block] = []
+
+    def height(self) -> int:
+        """Number of stored blocks."""
+        return len(self._blocks)
+
+    def put(self, block: Block) -> None:
+        """Append one block at the next height."""
+        if block.header.height != len(self._blocks):
+            raise ChainError(
+                f"block height {block.header.height} != next index {len(self._blocks)}"
+            )
+        self._blocks.append(block)
+
+    def get(self, height: int) -> Block:
+        """Fetch a stored block."""
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        return self._blocks[height]
+
+    def tamper(self, height: int, block: Block) -> None:
+        """Overwrite a stored block *without* any validation.
+
+        Exists so tests and the tamper experiments can simulate an
+        attacker with storage access; the ledger API never calls this.
+        """
+        if not 0 <= height < len(self._blocks):
+            raise ChainError(f"no block at height {height}")
+        self._blocks[height] = block
+
+
+class JsonlBlockStore:
+    """Append-only JSON-lines file store.
+
+    Args:
+        path: File to store blocks in; created on first append.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._cache: list[Block] | None = None
+
+    def _load(self) -> list[Block]:
+        if self._cache is None:
+            blocks: list[Block] = []
+            if self._path.exists():
+                with self._path.open() as handle:
+                    for line_no, line in enumerate(handle):
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            blocks.append(Block.from_dict(json.loads(line)))
+                        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                            raise ChainError(
+                                f"corrupt block at {self._path}:{line_no + 1}: {exc}"
+                            ) from exc
+            self._cache = blocks
+        return self._cache
+
+    def height(self) -> int:
+        """Number of stored blocks."""
+        return len(self._load())
+
+    def put(self, block: Block) -> None:
+        """Append one block to the file and the cache."""
+        blocks = self._load()
+        if block.header.height != len(blocks):
+            raise ChainError(
+                f"block height {block.header.height} != next index {len(blocks)}"
+            )
+        with self._path.open("a") as handle:
+            handle.write(json.dumps(block.to_dict(), sort_keys=True) + "\n")
+        blocks.append(block)
+
+    def get(self, height: int) -> Block:
+        """Fetch a stored block."""
+        blocks = self._load()
+        if not 0 <= height < len(blocks):
+            raise ChainError(f"no block at height {height}")
+        return blocks[height]

@@ -1,0 +1,68 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Regenerates the paper's figures/statistics as text:
+
+.. code-block:: console
+
+    $ repro-experiments --list
+    $ repro-experiments fig5 fig6
+    $ repro-experiments            # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Real-Time Energy Monitoring in "
+            "IoT-enabled Mobile Devices' (DATE 2020)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiments to run (default: all). Available: {sorted(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        help="also write each experiment's output to DIR/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.experiments or None
+    outputs = run_all(names)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name, text in outputs.items():
+        print(f"=== {name} {'=' * max(0, 60 - len(name))}")
+        print(text)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

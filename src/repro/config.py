@@ -1,0 +1,67 @@
+"""Scenario-level configuration with JSON round-tripping.
+
+Component configs live next to their components
+(:class:`~repro.device.stack.DeviceConfig`,
+:class:`~repro.aggregator.unit.AggregatorConfig`, ...).  This module
+provides the top-level knobs an experiment sweep varies, plus load/save
+so sweeps can be described as data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Top-level scenario knobs.
+
+    Attributes:
+        seed: Master seed.
+        n_networks: Grid-locations to build.
+        devices_per_network: Devices homed in each.
+        t_measure_s: Reporting interval.
+        duration_s: Default run length.
+    """
+
+    seed: int = 0
+    n_networks: int = 2
+    devices_per_network: int = 2
+    t_measure_s: float = 0.1
+    duration_s: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.n_networks < 1:
+            raise ConfigError(f"need >= 1 network, got {self.n_networks}")
+        if self.devices_per_network < 0:
+            raise ConfigError(
+                f"devices per network must be >= 0, got {self.devices_per_network}"
+            )
+        if self.t_measure_s <= 0:
+            raise ConfigError(f"t_measure must be positive, got {self.t_measure_s}")
+        if self.duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {self.duration_s}")
+
+
+def save_params(params: ScenarioParams, path: str | Path) -> None:
+    """Write params as pretty JSON."""
+    Path(path).write_text(json.dumps(asdict(params), indent=2) + "\n")
+
+
+def load_params(path: str | Path) -> ScenarioParams:
+    """Read params back, validating field names and values."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load scenario params from {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"params file {path} must hold a JSON object")
+    allowed = set(ScenarioParams.__dataclass_fields__)
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(f"unknown scenario param(s) {sorted(unknown)} in {path}")
+    return ScenarioParams(**data)

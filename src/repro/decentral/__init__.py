@@ -1,0 +1,19 @@
+"""The fully decentralized variant — no aggregator at all.
+
+§II-A: "In a truly decentralized network, the aggregators' role could be
+performed by the devices themselves having a consensus among themselves.
+In that case, the consumption data must be broadcast to the network and
+a common blockchain is formed once a consensus is achieved among them."
+
+This package runs that sentence: :class:`~repro.decentral.network.
+DecentralizedDevice` meters itself, gossips its records to every peer,
+and validates proposed blocks against its own gossip view;
+:class:`~repro.decentral.network.DecentralizedNetwork` coordinates
+per-round proposals through the latency-aware PoA consensus.  A proposer
+that drops or alters anyone's records is rejected by every peer that saw
+the original gossip.
+"""
+
+from repro.decentral.network import DecentralizedDevice, DecentralizedNetwork
+
+__all__ = ["DecentralizedDevice", "DecentralizedNetwork"]

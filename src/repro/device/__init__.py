@@ -1,0 +1,30 @@
+"""Device software stack (Fig. 2).
+
+The layers of the paper's device architecture map onto modules:
+
+* physical layer — sensor/MCU/RTC models from :mod:`repro.hw`,
+* middleware — :mod:`repro.device.firmware` (sampling task scheduling),
+* network layer — radio + MQTT client from :mod:`repro.net`, membership
+  state from :mod:`repro.protocol.device_fsm`,
+* data layer — :mod:`repro.device.metering` (representation) and
+  :mod:`repro.device.storage` (local store-and-forward),
+* application layer — :mod:`repro.device.app` (billing agent, remote
+  management, demand prediction, load scheduling).
+
+:class:`repro.device.stack.MeteringDevice` composes all of it into one
+simulated actor.
+"""
+
+from repro.device.firmware import Firmware
+from repro.device.metering import EnergyMeter, Measurement
+from repro.device.stack import DeviceConfig, MeteringDevice
+from repro.device.storage import LocalStore
+
+__all__ = [
+    "Firmware",
+    "EnergyMeter",
+    "Measurement",
+    "DeviceConfig",
+    "MeteringDevice",
+    "LocalStore",
+]

@@ -1,0 +1,29 @@
+"""Application layer of the device stack (Fig. 2, top).
+
+The paper names three application groups; each gets a module:
+
+1. remote management — :mod:`repro.device.app.remote_mgmt`,
+2. device-specific applications, "demand prediction and schedule
+   optimization for better load management" —
+   :mod:`repro.device.app.prediction` and
+   :mod:`repro.device.app.scheduling`,
+3. services such as billing — :mod:`repro.device.app.billing_agent`.
+"""
+
+from repro.device.app.billing_agent import BillingAgent
+from repro.device.app.prediction import DemandPredictor
+from repro.device.app.remote_mgmt import DeviceStatus, RemoteManagement
+from repro.device.app.scheduling import ScheduleOptimizer, TariffWindow
+from repro.device.app.self_audit import AuditVerdict, SelfAuditor, SelfAuditResult
+
+__all__ = [
+    "AuditVerdict",
+    "BillingAgent",
+    "DemandPredictor",
+    "DeviceStatus",
+    "RemoteManagement",
+    "ScheduleOptimizer",
+    "SelfAuditor",
+    "SelfAuditResult",
+    "TariffWindow",
+]

@@ -1,0 +1,60 @@
+"""Device-side billing service.
+
+Keeps the device's own running view of what it owes — the counterpart to
+the authoritative bill the home aggregator computes from the ledger.
+Comparing the two (they should agree to within sensor error) is itself a
+tamper check available to the device owner.
+"""
+
+from __future__ import annotations
+
+from repro.billing.tariff import Tariff
+from repro.device.metering import Measurement
+from repro.errors import BillingError
+
+
+class BillingAgent:
+    """Accumulates measured energy and prices it under a tariff.
+
+    Args:
+        tariff: Price schedule to apply.
+    """
+
+    def __init__(self, tariff: Tariff) -> None:
+        self._tariff = tariff
+        self._energy_mwh = 0.0
+        self._cost = 0.0
+        self._windows = 0
+
+    @property
+    def energy_mwh(self) -> float:
+        """Total energy accounted so far."""
+        return self._energy_mwh
+
+    @property
+    def cost(self) -> float:
+        """Total cost at the tariff (currency units)."""
+        return self._cost
+
+    @property
+    def windows(self) -> int:
+        """Measurement windows accounted."""
+        return self._windows
+
+    def account(self, measurement: Measurement) -> float:
+        """Add one measurement window; returns its cost."""
+        if measurement.energy_mwh < 0:
+            raise BillingError(f"negative energy {measurement.energy_mwh} mWh")
+        price = self._tariff.price_per_mwh(measurement.measured_at)
+        cost = measurement.energy_mwh * price
+        self._energy_mwh += measurement.energy_mwh
+        self._cost += cost
+        self._windows += 1
+        return cost
+
+    def estimate_monthly_cost(self, window_s: float, elapsed_s: float) -> float:
+        """Naive projection of cost to a 30-day month."""
+        if elapsed_s <= 0:
+            raise BillingError(f"elapsed time must be positive, got {elapsed_s}")
+        seconds_per_month = 30 * 24 * 3600.0
+        return self._cost * (seconds_per_month / elapsed_s)

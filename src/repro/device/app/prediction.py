@@ -1,0 +1,69 @@
+"""Demand prediction (device-specific application).
+
+An exponentially-weighted moving average with trend (Holt's linear
+method) over per-window energy.  Simple, robust at ESP32 scale, and good
+enough for the load-management applications the paper motivates; the
+predictor is also what the schedule optimizer consumes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class DemandPredictor:
+    """Holt's double-exponential smoothing over window energies.
+
+    Args:
+        alpha: Level smoothing factor in (0, 1].
+        beta: Trend smoothing factor in [0, 1].
+    """
+
+    def __init__(self, alpha: float = 0.3, beta: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigError(f"beta must be in [0, 1], got {beta}")
+        self._alpha = alpha
+        self._beta = beta
+        self._level: float | None = None
+        self._trend = 0.0
+        self._observations = 0
+        self._abs_error_sum = 0.0
+
+    @property
+    def observations(self) -> int:
+        """Samples consumed so far."""
+        return self._observations
+
+    @property
+    def mean_abs_error(self) -> float:
+        """Mean absolute one-step-ahead error over the history."""
+        if self._observations <= 1:
+            return 0.0
+        return self._abs_error_sum / (self._observations - 1)
+
+    def observe(self, energy_mwh: float) -> None:
+        """Feed one measurement window's energy."""
+        if energy_mwh < 0:
+            raise ConfigError(f"energy must be >= 0, got {energy_mwh}")
+        if self._level is None:
+            self._level = energy_mwh
+        else:
+            self._abs_error_sum += abs(self.predict(1) - energy_mwh)
+            previous_level = self._level
+            self._level = self._alpha * energy_mwh + (1 - self._alpha) * (
+                self._level + self._trend
+            )
+            self._trend = self._beta * (self._level - previous_level) + (
+                1 - self._beta
+            ) * self._trend
+        self._observations += 1
+
+    def predict(self, horizon_windows: int = 1) -> float:
+        """Forecast energy ``horizon_windows`` ahead (>= 0, never negative)."""
+        if horizon_windows < 1:
+            raise ConfigError(f"horizon must be >= 1, got {horizon_windows}")
+        if self._level is None:
+            return 0.0
+        return max(0.0, self._level + self._trend * horizon_windows)

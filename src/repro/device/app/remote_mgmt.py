@@ -1,0 +1,88 @@
+"""Remote management: monitoring and maintenance hooks.
+
+The application layer's first group: "remote management for
+monitoring/device maintenance".  The manager answers status queries and
+executes a small command set (reset counters, change the measurement
+interval) — enough surface for the integration tests to exercise a real
+management round-trip over MQTT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.device.stack import MeteringDevice
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class DeviceStatus:
+    """Snapshot returned by a status query."""
+
+    device: str
+    phase: str
+    roaming: bool
+    pending_buffer: int
+    reports_sent: int
+    total_energy_mwh: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form for transport."""
+        return {
+            "device": self.device,
+            "phase": self.phase,
+            "roaming": self.roaming,
+            "pending_buffer": self.pending_buffer,
+            "reports_sent": self.reports_sent,
+            "total_energy_mwh": self.total_energy_mwh,
+        }
+
+
+class RemoteManagement:
+    """Command handler bound to one device.
+
+    Args:
+        device: The managed device.
+    """
+
+    COMMANDS = ("status", "ping", "set-interval")
+
+    def __init__(self, device: MeteringDevice) -> None:
+        self._device = device
+        self._commands_handled = 0
+
+    @property
+    def commands_handled(self) -> int:
+        """Commands processed so far."""
+        return self._commands_handled
+
+    def status(self) -> DeviceStatus:
+        """Current device status snapshot."""
+        return DeviceStatus(
+            device=self._device.device_id.name,
+            phase=self._device.fsm.phase.value,
+            roaming=self._device.fsm.is_roaming,
+            pending_buffer=self._device.store.pending,
+            reports_sent=self._device.reports_sent,
+            total_energy_mwh=self._device.meter.total_energy_mwh,
+        )
+
+    def handle(self, command: str, argument: float | None = None) -> dict[str, Any]:
+        """Execute one management command; returns the reply payload."""
+        self._commands_handled += 1
+        if command == "status":
+            return self.status().to_dict()
+        if command == "ping":
+            return {"device": self._device.device_id.name, "pong": True}
+        if command == "set-interval":
+            if argument is None or argument <= 0:
+                raise ProtocolError(
+                    f"set-interval needs a positive seconds argument, got {argument}"
+                )
+            self._device.firmware.set_interval(float(argument))
+            return {
+                "device": self._device.device_id.name,
+                "t_measure_s": float(argument),
+            }
+        raise ProtocolError(f"unknown management command {command!r}")

@@ -1,0 +1,114 @@
+"""Schedule optimization for load management.
+
+Given tariff windows and a deferrable load (e.g. the e-scooter's charge,
+which needs N hours of charging before a deadline), pick the cheapest
+feasible start times.  Greedy-by-price over discretised slots — optimal
+for a single interruptible load, and transparent enough to verify by
+hand in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TariffWindow:
+    """One pricing window on the planning horizon."""
+
+    start_s: float
+    end_s: float
+    price_per_mwh: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigError(f"empty window [{self.start_s}, {self.end_s}]")
+        if self.price_per_mwh < 0:
+            raise ConfigError(f"price must be >= 0, got {self.price_per_mwh}")
+
+    @property
+    def duration_s(self) -> float:
+        """Window length in seconds."""
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class ScheduledSlot:
+    """One chosen run interval of the load."""
+
+    start_s: float
+    end_s: float
+    price_per_mwh: float
+
+
+class ScheduleOptimizer:
+    """Chooses the cheapest slots for an interruptible load.
+
+    Args:
+        windows: Tariff windows covering the horizon (must not overlap).
+    """
+
+    def __init__(self, windows: list[TariffWindow]) -> None:
+        if not windows:
+            raise ConfigError("at least one tariff window required")
+        ordered = sorted(windows, key=lambda w: w.start_s)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.start_s < earlier.end_s:
+                raise ConfigError(
+                    f"windows overlap at {later.start_s} (< {earlier.end_s})"
+                )
+        self._windows = ordered
+
+    @property
+    def horizon(self) -> tuple[float, float]:
+        """Earliest start and latest end across windows."""
+        return self._windows[0].start_s, self._windows[-1].end_s
+
+    def plan(
+        self,
+        required_s: float,
+        deadline_s: float | None = None,
+    ) -> list[ScheduledSlot]:
+        """Allocate ``required_s`` seconds of runtime at minimum cost.
+
+        Fills the cheapest windows first (each window is interruptible),
+        optionally only using time before ``deadline_s``.  Raises
+        :class:`~repro.errors.ConfigError` when the horizon cannot fit
+        the requirement — a schedule that silently under-delivers would
+        corrupt the downstream billing comparison.
+        """
+        if required_s <= 0:
+            raise ConfigError(f"required runtime must be positive, got {required_s}")
+        usable = []
+        for window in self._windows:
+            end = window.end_s if deadline_s is None else min(window.end_s, deadline_s)
+            if end > window.start_s:
+                usable.append(TariffWindow(window.start_s, end, window.price_per_mwh))
+        available = sum(w.duration_s for w in usable)
+        if available < required_s:
+            raise ConfigError(
+                f"cannot fit {required_s}s of load into {available}s of tariff windows"
+            )
+        slots: list[ScheduledSlot] = []
+        remaining = required_s
+        for window in sorted(usable, key=lambda w: (w.price_per_mwh, w.start_s)):
+            if remaining <= 0:
+                break
+            take = min(remaining, window.duration_s)
+            slots.append(
+                ScheduledSlot(window.start_s, window.start_s + take, window.price_per_mwh)
+            )
+            remaining -= take
+        return sorted(slots, key=lambda s: s.start_s)
+
+    def plan_cost(self, slots: list[ScheduledSlot], power_mw: float) -> float:
+        """Cost of running ``power_mw`` over the chosen slots."""
+        if power_mw < 0:
+            raise ConfigError(f"power must be >= 0, got {power_mw}")
+        total = 0.0
+        for slot in slots:
+            energy_mwh = power_mw * (slot.end_s - slot.start_s) / 3600.0
+            total += energy_mwh * slot.price_per_mwh
+        return total

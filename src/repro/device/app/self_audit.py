@@ -1,0 +1,102 @@
+"""Device-side self-audit: does the ledger agree with my own meter?
+
+The owner's trust chain: the device knows what it measured
+(`EnergyMeter` totals and the `BillingAgent`'s running cost); the home
+network bills from the blockchain.  The self-audit compares the two and
+classifies the outcome — agreement, under-billing (records lost), or
+over-billing (records inflated or double-counted) — plus spot-checks
+individual records via inclusion receipts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.billing.invoice import Invoice
+from repro.device.stack import MeteringDevice
+from repro.errors import BillingError
+
+
+class AuditVerdict(enum.Enum):
+    """Outcome classes of a self-audit."""
+
+    CONSISTENT = "consistent"
+    UNDER_BILLED = "under_billed"
+    OVER_BILLED = "over_billed"
+
+
+@dataclass(frozen=True)
+class SelfAuditResult:
+    """Comparison between the device's meter and its invoice.
+
+    Attributes:
+        measured_mwh: The device's own accumulated measurement.
+        billed_mwh: Energy on the invoice.
+        relative_gap: (billed - measured) / measured.
+        verdict: Classification at the configured tolerance.
+        receipts_checked / receipts_valid: Spot-check outcome.
+    """
+
+    measured_mwh: float
+    billed_mwh: float
+    relative_gap: float
+    verdict: AuditVerdict
+    receipts_checked: int = 0
+    receipts_valid: int = 0
+
+    @property
+    def receipts_ok(self) -> bool:
+        """True when every spot-checked receipt verified."""
+        return self.receipts_checked == self.receipts_valid
+
+
+class SelfAuditor:
+    """Compares a device's own accounting with its invoice.
+
+    Args:
+        device: The audited device.
+        tolerance: Relative gap treated as agreement.  The device's
+            meter and the ledger see the *same* sensor readings, so the
+            only legitimate slack is records still in flight — a couple
+            of percent on short periods, far less on long ones.
+    """
+
+    def __init__(self, device: MeteringDevice, tolerance: float = 0.03) -> None:
+        if tolerance <= 0:
+            raise BillingError(f"tolerance must be positive, got {tolerance}")
+        self._device = device
+        self._tolerance = tolerance
+
+    def audit(self, invoice: Invoice) -> SelfAuditResult:
+        """Compare the invoice against the device's own meter total."""
+        if invoice.device != self._device.device_id.name:
+            raise BillingError(
+                f"invoice for {invoice.device!r} audited by "
+                f"{self._device.device_id.name!r}"
+            )
+        measured = self._device.meter.total_energy_mwh
+        billed = invoice.total_energy_mwh
+        if measured <= 0:
+            gap = 0.0 if billed == 0 else float("inf")
+        else:
+            gap = (billed - measured) / measured
+        if abs(gap) <= self._tolerance:
+            verdict = AuditVerdict.CONSISTENT
+        elif gap < 0:
+            verdict = AuditVerdict.UNDER_BILLED
+        else:
+            verdict = AuditVerdict.OVER_BILLED
+        valid = sum(
+            1 for receipt in self._device.receipts.values()
+            if receipt is not None and receipt.verify()
+        )
+        checked = len(self._device.receipts)
+        return SelfAuditResult(
+            measured_mwh=measured,
+            billed_mwh=billed,
+            relative_gap=gap,
+            verdict=verdict,
+            receipts_checked=checked,
+            receipts_valid=valid,
+        )

@@ -1,0 +1,93 @@
+"""Middleware layer: the firmware's sampling task.
+
+The firmware owns the measurement cadence: while the device is
+electrically attached it samples the meter every ``T_measure`` and hands
+the measurement to a sink (the stack decides whether to transmit or
+buffer).  Decoupling the cadence from connectivity is what produces the
+paper's buffering behaviour — measurement never stops just because the
+network is gone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.device.metering import EnergyMeter, Measurement
+from repro.errors import ConfigError
+from repro.sim.kernel import PeriodicTask, Simulator
+
+MeasurementSink = Callable[[Measurement], None]
+
+
+class Firmware:
+    """Periodic sampling task bound to a meter and a sink.
+
+    Args:
+        simulator: The kernel.
+        meter: This device's energy meter.
+        sink: Receives every measurement (transmit-or-buffer decision).
+        t_measure_s: Measurement interval (0.1 s in the paper: "10 times
+            per second i.e., ... every 100 milliseconds").
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        meter: EnergyMeter,
+        sink: MeasurementSink,
+        t_measure_s: float = 0.1,
+    ) -> None:
+        if t_measure_s <= 0:
+            raise ConfigError(f"t_measure must be positive, got {t_measure_s}")
+        self._sim = simulator
+        self._meter = meter
+        self._sink = sink
+        self._t_measure_s = t_measure_s
+        self._task: PeriodicTask | None = None
+        self._samples_taken = 0
+
+    @property
+    def t_measure_s(self) -> float:
+        """Measurement interval in seconds."""
+        return self._t_measure_s
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling task is active."""
+        return self._task is not None
+
+    @property
+    def samples_taken(self) -> int:
+        """Measurements performed since construction."""
+        return self._samples_taken
+
+    def start(self) -> None:
+        """Begin periodic sampling (first sample after one interval)."""
+        if self._task is not None:
+            return
+        self._task = self._sim.every(
+            self._t_measure_s, self._tick, label="firmware:sample"
+        )
+
+    def stop(self) -> None:
+        """Halt sampling (device electrically detached)."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def set_interval(self, t_measure_s: float) -> None:
+        """Change the sampling interval (remote-management command).
+
+        Takes effect from the next sample when running; otherwise on the
+        next :meth:`start`.
+        """
+        if t_measure_s <= 0:
+            raise ConfigError(f"t_measure must be positive, got {t_measure_s}")
+        self._t_measure_s = t_measure_s
+        if self._task is not None:
+            self._task.reschedule(t_measure_s)
+
+    def _tick(self) -> None:
+        measurement = self._meter.sample(self._sim.now, self._t_measure_s)
+        self._samples_taken += 1
+        self._sink(measurement)

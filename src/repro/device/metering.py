@@ -1,0 +1,105 @@
+"""In-device energy metering (the data-representation part of Fig. 2).
+
+"Using the voltage characteristics of the device, the energy consumption
+is computed using the sensor measurement value and the measurement
+duration" (§III-A).  :class:`EnergyMeter` samples the device's true
+terminal current through its INA219 model once per measurement window
+and converts to energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import HardwareError
+from repro.hw.ina219 import Ina219
+from repro.units import energy_mwh
+
+# True terminal current of the device as a function of time (mA).
+CurrentFn = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measurement window.
+
+    Attributes:
+        measured_at: Window end time (device-RTC timestamp).
+        interval_s: Window length.
+        current_ma: Sensor reading (with error model applied).
+        true_current_ma: Ground truth (kept for evaluation only — never
+            transmitted; the aggregator estimates truth from its feeder
+            meter).
+        voltage_v: Supply voltage used in the energy computation.
+        energy_mwh: current x voltage x interval.
+    """
+
+    measured_at: float
+    interval_s: float
+    current_ma: float
+    true_current_ma: float
+    voltage_v: float
+    energy_mwh: float
+
+
+class EnergyMeter:
+    """Converts sensor samples into energy measurements.
+
+    Args:
+        sensor: This device's INA219 instance.
+        current_fn: Ground-truth terminal current over time.
+        voltage_v: Device supply voltage.
+    """
+
+    def __init__(self, sensor: Ina219, current_fn: CurrentFn, voltage_v: float) -> None:
+        if voltage_v <= 0:
+            raise HardwareError(f"voltage must be positive, got {voltage_v}")
+        self._sensor = sensor
+        self._current_fn = current_fn
+        self._voltage_v = voltage_v
+        self._total_energy_mwh = 0.0
+        self._total_true_energy_mwh = 0.0
+
+    @property
+    def sensor(self) -> Ina219:
+        """The underlying sensor model."""
+        return self._sensor
+
+    @property
+    def voltage_v(self) -> float:
+        """Supply voltage used for energy computation."""
+        return self._voltage_v
+
+    @property
+    def total_energy_mwh(self) -> float:
+        """Accumulated measured energy since construction."""
+        return self._total_energy_mwh
+
+    @property
+    def total_true_energy_mwh(self) -> float:
+        """Accumulated ground-truth energy (evaluation only)."""
+        return self._total_true_energy_mwh
+
+    def true_current_ma(self, at_time: float) -> float:
+        """Ground-truth terminal current right now."""
+        return self._current_fn(at_time)
+
+    def sample(self, at_time: float, interval_s: float) -> Measurement:
+        """Take one measurement covering the window ending at ``at_time``."""
+        true_current = self._current_fn(at_time)
+        reading = self._sensor.measure_ma(true_current)
+        # A tiny negative reading can appear at near-zero load purely from
+        # offset/noise; clamp so energy stays physical.
+        reading = max(0.0, reading)
+        energy = energy_mwh(reading, self._voltage_v, interval_s)
+        self._total_energy_mwh += energy
+        self._total_true_energy_mwh += energy_mwh(true_current, self._voltage_v, interval_s)
+        return Measurement(
+            measured_at=at_time,
+            interval_s=interval_s,
+            current_ma=reading,
+            true_current_ma=true_current,
+            voltage_v=self._voltage_v,
+            energy_mwh=energy,
+        )

@@ -1,0 +1,670 @@
+"""The composed IoT metering device (all Fig. 2 layers as one actor).
+
+:class:`MeteringDevice` wires the hardware models, the firmware sampling
+task, the radio/MQTT network layer, the data layer (store-and-forward)
+and the protocol state machine together, and drives the Fig. 3 sequences
+against whatever network it is currently in.
+
+Interaction surface with the aggregator is deliberately narrow — an
+:class:`AccessPoint` exposes the aggregator's identity and MQTT broker;
+everything else flows through protocol messages on topics:
+
+* uplink ``meter/{device}/register`` and ``meter/{device}/report``,
+* downlink ``device/{device}/ctrl``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol
+
+from repro.device.firmware import Firmware
+from repro.device.metering import EnergyMeter, Measurement
+from repro.device.storage import LocalStore
+from repro.errors import ConfigError, ProtocolError
+from repro.grid.topology import GridTopology
+from repro.hw.ds3231 import Ds3231Rtc
+from repro.hw.esp32 import Esp32Mcu, McuState
+from repro.hw.ina219 import Ina219, Ina219Config
+from repro.ids import AggregatorId, DeviceId
+from repro.net.channel import WirelessChannel
+from repro.net.mqtt import MqttBroker, MqttClient, QoS
+from repro.net.wifi import WifiParams, WifiRadio
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.device_fsm import DeviceFsm, DevicePhase, FsmDecision
+from repro.protocol.messages import (
+    Ack,
+    ConsumptionReport,
+    MgmtCommand,
+    MgmtResponse,
+    Nack,
+    NackReason,
+    ReceiptRequest,
+    ReceiptResponse,
+    RegistrationRequest,
+    RegistrationResponse,
+    RemoveDevice,
+    TransferMembership,
+)
+
+if TYPE_CHECKING:
+    from repro.chain.receipts import InclusionReceipt
+    from repro.net.timesync import TimeSyncService
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.units import energy_mwh
+
+LoadProfile = Callable[[float], float]
+
+
+class AccessPoint(Protocol):
+    """What a device needs to know about the aggregator it talks to."""
+
+    @property
+    def aggregator_id(self) -> AggregatorId:
+        """Identity of the aggregator (names its grid network)."""
+        ...
+
+    @property
+    def broker(self) -> MqttBroker:
+        """The MQTT broker hosted by this aggregator."""
+        ...
+
+    @property
+    def timesync(self) -> "TimeSyncService":
+        """The RTC-discipline service of this network."""
+        ...
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Static configuration of one metering device.
+
+    Attributes:
+        t_measure_s: Measurement/reporting interval (paper: 0.1 s).
+        voltage_v: Device supply voltage (ESP32 Thing: 3.3 V; an
+            e-scooter charger would be mains-side, still one number).
+        storage_capacity: Local store-and-forward capacity (records).
+        sensor: INA219 configuration.
+        wifi: Wi-Fi join latency model.
+        report_qos: QoS for consumption reports.
+        flush_batch: Buffered records flushed per transmission slot.
+        registration_retry_s: Backoff before re-requesting membership
+            after a NETWORK_FULL refusal.
+    """
+
+    t_measure_s: float = 0.1
+    voltage_v: float = 3.3
+    storage_capacity: int = 4096
+    sensor: Ina219Config = field(default_factory=Ina219Config)
+    wifi: WifiParams = field(default_factory=WifiParams)
+    report_qos: QoS = QoS.AT_LEAST_ONCE
+    flush_batch: int = 64
+    registration_retry_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.t_measure_s <= 0:
+            raise ConfigError(f"t_measure must be positive, got {self.t_measure_s}")
+        if self.voltage_v <= 0:
+            raise ConfigError(f"voltage must be positive, got {self.voltage_v}")
+        if self.flush_batch <= 0:
+            raise ConfigError(f"flush batch must be positive, got {self.flush_batch}")
+        if self.registration_retry_s <= 0:
+            raise ConfigError(
+                f"registration retry must be positive, got {self.registration_retry_s}"
+            )
+
+
+@dataclass
+class HandshakeRecord:
+    """Timing of one network-entry handshake (for E3/A2)."""
+
+    network: AggregatorId
+    started_at: float
+    scan_s: float = 0.0
+    assoc_s: float = 0.0
+    connect_s: float = 0.0
+    registered_at: float | None = None
+    temporary: bool = False
+
+    @property
+    def duration_s(self) -> float | None:
+        """Total handshake time, or None while incomplete."""
+        if self.registered_at is None:
+            return None
+        return self.registered_at - self.started_at
+
+
+class MeteringDevice(Process):
+    """One IoT-enabled device with in-device metering.
+
+    Args:
+        simulator: The kernel.
+        device_id: Identity of this device.
+        config: Static configuration.
+        grid: The electrical topology (for attach/detach).
+        channel: Wireless channel shared by the scenario.
+        load_profile: Grid-side load current (mA) over time, *excluding*
+            the MCU's own draw (added automatically).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        device_id: DeviceId,
+        config: DeviceConfig,
+        grid: GridTopology,
+        channel: WirelessChannel,
+        load_profile: LoadProfile,
+    ) -> None:
+        super().__init__(simulator, device_id.name)
+        self._device_id = device_id
+        self._config = config
+        self._grid = grid
+        self._channel = channel
+        self._load_profile = load_profile
+
+        self._mcu = Esp32Mcu(supply_voltage_v=config.voltage_v)
+        self._sensor = Ina219(config.sensor, self.rng("sensor"))
+        self._rtc = Ds3231Rtc(self.rng("rtc"))
+        self._radio = WifiRadio(config.wifi, self.rng("wifi"))
+        self._meter = EnergyMeter(self._sensor, self.true_current_ma, config.voltage_v)
+        self._store = LocalStore(config.storage_capacity)
+        self._fsm = DeviceFsm(device_id)
+        self._firmware = Firmware(
+            simulator, self._meter, self._on_measurement, config.t_measure_s
+        )
+        self._client = MqttClient(simulator, f"{device_id.name}-mqtt", channel)
+
+        # The paper's threat model: "in-device energy metering is
+        # susceptible to manipulation and fraud".  Installing an attack
+        # here manipulates what the device *reports*; physical
+        # consumption (what the feeder sees) is untouched.
+        self.tamper_attack: Any | None = None
+
+        self._sequence = 0
+        self._current_ap: AccessPoint | None = None
+        self._ap_distance_m = 5.0
+        self._ctrl_topic = f"device/{device_id.name}/ctrl"
+        self._handshakes: list[HandshakeRecord] = []
+        self._acked_sequences: set[int] = set()
+        self._inflight: dict[int, ConsumptionReport] = {}
+        self._reports_sent = 0
+        self._reports_buffered = 0
+        self._receipts: dict[int, "InclusionReceipt | None"] = {}
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def device_id(self) -> DeviceId:
+        """This device's identity."""
+        return self._device_id
+
+    @property
+    def config(self) -> DeviceConfig:
+        """Static configuration."""
+        return self._config
+
+    @property
+    def fsm(self) -> DeviceFsm:
+        """The protocol state machine (read-mostly for assertions)."""
+        return self._fsm
+
+    @property
+    def meter(self) -> EnergyMeter:
+        """The energy meter."""
+        return self._meter
+
+    @property
+    def store(self) -> LocalStore:
+        """The local store-and-forward buffer."""
+        return self._store
+
+    @property
+    def firmware(self) -> Firmware:
+        """The sampling task (remote management can retune it)."""
+        return self._firmware
+
+    @property
+    def rtc(self) -> Ds3231Rtc:
+        """The device RTC (registered with the aggregator's time sync)."""
+        return self._rtc
+
+    @property
+    def mcu(self) -> Esp32Mcu:
+        """The MCU power-state model."""
+        return self._mcu
+
+    @property
+    def handshakes(self) -> list[HandshakeRecord]:
+        """Every network-entry handshake this device performed."""
+        return list(self._handshakes)
+
+    @property
+    def last_handshake(self) -> HandshakeRecord | None:
+        """Most recent handshake record, or None."""
+        return self._handshakes[-1] if self._handshakes else None
+
+    @property
+    def reports_sent(self) -> int:
+        """Reports handed to MQTT (live + flushed)."""
+        return self._reports_sent
+
+    @property
+    def reports_buffered(self) -> int:
+        """Measurements diverted to local storage."""
+        return self._reports_buffered
+
+    @property
+    def acked_count(self) -> int:
+        """Distinct report sequences acknowledged by aggregators."""
+        return len(self._acked_sequences)
+
+    def true_current_ma(self, at_time: float) -> float:
+        """Ground-truth terminal current: load profile + MCU draw."""
+        return self._load_profile(at_time) + self._mcu.current_ma()
+
+    # -- mobility ---------------------------------------------------------
+
+    def enter_network(self, access_point: AccessPoint, distance_m: float = 5.0) -> None:
+        """Electrically attach in ``access_point``'s network and join it.
+
+        Models the Fig. 6 arrival: sampling (and hence local buffering)
+        starts immediately with the electrical connection, while the
+        radio scans, associates and connects MQTT — only then does the
+        protocol handshake run.
+        """
+        if self._current_ap is not None:
+            raise ProtocolError(f"{self.name} must leave its network before entering another")
+        network_id = access_point.aggregator_id
+        self._grid.attach(self._device_id, network_id, self.true_current_ma, self.now)
+        self._current_ap = access_point
+        self._ap_distance_m = distance_m
+        self._firmware.start()
+        self._fsm.begin_join()
+        handshake = HandshakeRecord(network=network_id, started_at=self.now)
+        self._handshakes.append(handshake)
+        self.trace("device.enter_network", network=network_id.name)
+
+        self._mcu.set_state(McuState.WIFI_RX, self.now)
+        scan_s = self._radio.scan_duration_s()
+        handshake.scan_s = scan_s
+        rssi = self._channel.rssi_dbm(distance_m)
+
+        def _scanned() -> None:
+            assoc_s = self._radio.association_duration_s()
+            handshake.assoc_s = assoc_s
+            self.sim.call_later(assoc_s, _associated, label=f"{self.name}:assoc")
+
+        def _associated() -> None:
+            connect_s = self._client.connect(
+                access_point.broker, rssi, on_connected=_connected
+            )
+            handshake.connect_s = connect_s
+
+        def _connected() -> None:
+            access_point.broker.subscribe(self._ctrl_topic, self._on_ctrl)
+            # "All the devices in the network and the aggregators are
+            # time-synchronized": put this RTC under the network's
+            # discipline, with an immediate first correction.
+            access_point.timesync.register_clock(self.name, self._rtc)
+            self._rtc.synchronize(self.now)
+            self._mcu.set_state(McuState.IDLE, self.now)
+            decision = self._fsm.network_joined()
+            self._apply_decision(decision)
+            # The handshake completes at the first accepted report (home
+            # re-entry) or at the registration response (new / foreign
+            # network) — the device cannot tell which case it is yet.
+
+        self.sim.call_later(scan_s, _scanned, label=f"{self.name}:scan")
+
+    def select_network(
+        self, candidates: list[tuple[AccessPoint, float]]
+    ) -> tuple[AccessPoint, float, float]:
+        """Pick the reporting aggregator by RSSI (paper footnote 2).
+
+        "The Received Signal Strength Indicator (RSSI) is used by the
+        device ... to detect its reporting aggregator."  Evaluates one
+        (shadowed) RSSI sample per candidate ``(access_point,
+        distance_m)`` and returns ``(best_ap, its_distance, its_rssi)``.
+        """
+        if not candidates:
+            raise ProtocolError(f"{self.name} has no candidate networks to scan")
+        best: tuple[AccessPoint, float, float] | None = None
+        for access_point, distance_m in candidates:
+            rssi = self._channel.rssi_dbm(distance_m)
+            self.trace(
+                "device.scan_candidate",
+                network=access_point.aggregator_id.name,
+                rssi_dbm=rssi,
+            )
+            if best is None or rssi > best[2]:
+                best = (access_point, distance_m, rssi)
+        return best
+
+    def enter_best_network(
+        self, candidates: list[tuple[AccessPoint, float]]
+    ) -> AccessPoint:
+        """Scan candidates, pick the strongest and enter its network."""
+        access_point, distance_m, _ = self.select_network(candidates)
+        self.enter_network(access_point, distance_m)
+        return access_point
+
+    def leave_network(self) -> None:
+        """Electrically detach and drop all connectivity.
+
+        Consumption stops with the electrical connection (transit draws
+        nothing from the grid), so the firmware halts too.
+        """
+        if self._current_ap is None:
+            raise ProtocolError(f"{self.name} is not in any network")
+        if self._client.connected:
+            try:
+                self._current_ap.broker.unsubscribe(self._ctrl_topic, self._on_ctrl)
+            except Exception:
+                pass
+            self._client.disconnect()
+        self._current_ap.timesync.unregister_clock(self.name)
+        self._grid.detach(self._device_id)
+        self._firmware.stop()
+        self._fsm.network_left()
+        self._inflight.clear()
+        self.trace("device.leave_network", network=self._current_ap.aggregator_id.name)
+        self._current_ap = None
+        self._mcu.set_state(McuState.LIGHT_SLEEP, self.now)
+
+    def drop_connection(self) -> None:
+        """Lose communication only — the grid attachment stays.
+
+        Models a Wi-Fi fade or broker outage ("if there is ... a
+        transmission or a registration failure, the raw energy
+        consumption value while charging is temporarily stored in local
+        memory", §II-C).  Sampling continues; measurements buffer until
+        :meth:`reconnect`.
+        """
+        if self._current_ap is None:
+            raise ProtocolError(f"{self.name} is not in any network")
+        if not self._client.connected:
+            raise ProtocolError(f"{self.name} is already disconnected")
+        try:
+            self._current_ap.broker.unsubscribe(self._ctrl_topic, self._on_ctrl)
+        except Exception:
+            pass
+        self._client.disconnect()
+        # Sync runs over the network; no connection, no discipline.
+        self._current_ap.timesync.unregister_clock(self.name)
+        self._inflight.clear()
+        self.trace("device.connection_lost")
+
+    def reconnect(self) -> None:
+        """Re-establish the session after a communication-only outage.
+
+        The AP is known, so there is no full scan — re-association plus
+        the MQTT connect.  Buffered data flushes after the first Ack.
+        """
+        if self._current_ap is None:
+            raise ProtocolError(f"{self.name} is not in any network")
+        if self._client.connected:
+            raise ProtocolError(f"{self.name} is already connected")
+        access_point = self._current_ap
+        rssi = self._channel.rssi_dbm(self._ap_distance_m)
+        assoc_s = self._radio.association_duration_s()
+
+        def _associated() -> None:
+            def _connected() -> None:
+                access_point.broker.subscribe(self._ctrl_topic, self._on_ctrl)
+                access_point.timesync.register_clock(self.name, self._rtc)
+                self.trace("device.reconnected")
+
+            self._client.connect(access_point.broker, rssi, on_connected=_connected)
+
+        self.sim.call_later(assoc_s, _associated, label=f"{self.name}:reassoc")
+
+    # -- data path ----------------------------------------------------------
+
+    def _next_sequence(self) -> int:
+        seq = self._sequence
+        self._sequence += 1
+        return seq
+
+    def _build_report(self, measurement: Measurement, buffered: bool = False) -> ConsumptionReport:
+        current_ma = measurement.current_ma
+        reported_energy = measurement.energy_mwh
+        if self.tamper_attack is not None:
+            current_ma = self.tamper_attack.apply(current_ma)
+            reported_energy = energy_mwh(
+                current_ma, measurement.voltage_v, measurement.interval_s
+            )
+        return ConsumptionReport(
+            device_id=self._device_id,
+            master=self._fsm.master,
+            temporary=self._fsm.temporary,
+            sequence=self._next_sequence(),
+            measured_at=self._rtc.read(measurement.measured_at),
+            interval_s=measurement.interval_s,
+            current_ma=current_ma,
+            voltage_v=measurement.voltage_v,
+            energy_mwh=reported_energy,
+            buffered=buffered,
+        )
+
+    def _on_measurement(self, measurement: Measurement) -> None:
+        report = self._build_report(measurement)
+        if self._fsm.can_report and self._client.connected:
+            self._transmit(report)
+        else:
+            self._store.store(report)
+            self._reports_buffered += 1
+            self.trace("device.buffer", sequence=report.sequence)
+
+    def _restamp_addresses(self, report: ConsumptionReport) -> ConsumptionReport:
+        """Update a buffered report's addresses to the current membership."""
+        if report.master == self._fsm.master and report.temporary == self._fsm.temporary:
+            return report
+        return ConsumptionReport(
+            device_id=report.device_id,
+            master=self._fsm.master,
+            temporary=self._fsm.temporary,
+            sequence=report.sequence,
+            measured_at=report.measured_at,
+            interval_s=report.interval_s,
+            current_ma=report.current_ma,
+            voltage_v=report.voltage_v,
+            energy_mwh=report.energy_mwh,
+            buffered=report.buffered,
+        )
+
+    def _transmit(self, report: ConsumptionReport) -> None:
+        payload = encode_message(report)
+        self._mcu.set_state(McuState.WIFI_TX, self.now)
+        delivered = self._client.publish(
+            f"meter/{self._device_id.name}/report",
+            payload,
+            qos=self._config.report_qos,
+            payload_bytes=len(payload),
+        )
+        self._mcu.set_state(McuState.IDLE, self.now)
+        if delivered:
+            self._reports_sent += 1
+            # Remember until Ack'd so a NOT_A_MEMBER Nack (foreign
+            # network) can re-buffer the data instead of losing it.
+            self._inflight[report.sequence] = report
+        else:
+            # All QoS-1 retries failed (deep fade): keep the data.
+            self._store.store(report)
+            self._reports_buffered += 1
+
+    def _flush_buffer(self) -> None:
+        """Send buffered records alongside the next transmissions."""
+        if self._store.is_empty or not self._client.connected or not self._fsm.can_report:
+            return
+        batch = self._store.drain(self._config.flush_batch)
+        for report in batch:
+            self._transmit(self._restamp_addresses(report))
+        if not self._store.is_empty:
+            # Spread remaining backlog over subsequent slots.
+            self.sim.call_later(
+                self._config.t_measure_s, self._flush_buffer, label=f"{self.name}:flush"
+            )
+        self.trace("device.flush", flushed=len(batch), remaining=self._store.pending)
+
+    # -- billing-dispute receipts -------------------------------------------
+
+    @property
+    def receipts(self) -> dict[int, "InclusionReceipt | None"]:
+        """Receipt answers by sequence: a verified receipt, or None when
+        the aggregator reported not-found / verification failed."""
+        return dict(self._receipts)
+
+    def request_receipt(self, sequence: int) -> None:
+        """Ask the current aggregator to prove a record is in the ledger.
+
+        The answer lands in :attr:`receipts`; the Merkle proof is
+        verified on arrival, so a receipt stored there is trustworthy.
+        """
+        if not self._client.connected:
+            raise ProtocolError(f"{self.name} cannot request receipts while offline")
+        request = ReceiptRequest(self._device_id, sequence)
+        payload = encode_message(request)
+        self._client.publish(
+            f"meter/{self._device_id.name}/receipt",
+            payload,
+            qos=QoS.AT_LEAST_ONCE,
+            payload_bytes=len(payload),
+        )
+
+    def _on_receipt_response(self, message: ReceiptResponse) -> None:
+        from repro.chain.receipts import receipt_from_dict
+
+        if not message.found or message.receipt is None:
+            self._receipts[message.sequence] = None
+            self.trace("device.receipt_missing", sequence=message.sequence)
+            return
+        receipt = receipt_from_dict(message.receipt)
+        if not receipt.verify():
+            # A receipt that fails its own proof is worse than none.
+            self._receipts[message.sequence] = None
+            self.trace("device.receipt_invalid", sequence=message.sequence)
+            return
+        self._receipts[message.sequence] = receipt
+        self.trace("device.receipt_verified", sequence=message.sequence)
+
+    # -- remote management ----------------------------------------------------
+
+    def _on_mgmt_command(self, command: MgmtCommand) -> None:
+        from repro.device.app.remote_mgmt import RemoteManagement
+        from repro.errors import ProtocolError as _ProtocolError
+
+        manager = RemoteManagement(self)
+        try:
+            payload = manager.handle(command.command, command.argument)
+            ok = True
+        except _ProtocolError as exc:
+            payload = {"error": str(exc)}
+            ok = False
+        response = MgmtResponse(self._device_id, command.request_id, ok, payload)
+        if self._client.connected:
+            encoded = encode_message(response)
+            self._client.publish(
+                f"meter/{self._device_id.name}/mgmt",
+                encoded,
+                qos=QoS.AT_LEAST_ONCE,
+                payload_bytes=len(encoded),
+            )
+        self.trace("device.mgmt", command=command.command, ok=ok)
+
+    # -- protocol ----------------------------------------------------------
+
+    def _send_registration(self, request: RegistrationRequest) -> None:
+        if not self._client.connected:
+            raise ProtocolError(f"{self.name} cannot register while disconnected")
+        payload = encode_message(request)
+        self._client.publish(
+            f"meter/{self._device_id.name}/register",
+            payload,
+            qos=QoS.AT_LEAST_ONCE,
+            payload_bytes=len(payload),
+        )
+        self.trace(
+            "device.register",
+            temporary=request.is_temporary,
+            master=str(request.master) if request.master else None,
+        )
+
+    def _schedule_registration_retry(self) -> None:
+        def _retry() -> None:
+            if not self._client.connected:
+                return
+            if self._fsm.phase is not DevicePhase.REGISTERING:
+                return
+            self._send_registration(
+                RegistrationRequest(self._device_id, master=self._fsm.master)
+            )
+
+        self.sim.call_later(
+            self._config.registration_retry_s, _retry, label=f"{self.name}:reg-retry"
+        )
+
+    def _apply_decision(self, decision: FsmDecision) -> None:
+        if decision.send_registration is not None:
+            self._send_registration(decision.send_registration)
+        if decision.flush_buffer:
+            self._flush_buffer()
+
+    def _on_ctrl(self, topic: str, payload: Any) -> None:
+        message = decode_message(payload)
+        if isinstance(message, RegistrationResponse):
+            decision = self._fsm.registration_response(message)
+            handshake = self.last_handshake
+            if handshake is not None and handshake.registered_at is None:
+                handshake.registered_at = self.now
+                handshake.temporary = message.temporary
+            self.trace(
+                "device.registered",
+                address=str(message.address),
+                temporary=message.temporary,
+            )
+            self._apply_decision(decision)
+        elif isinstance(message, Ack):
+            if message.sequence is not None:
+                self._acked_sequences.add(message.sequence)
+                self._inflight.pop(message.sequence, None)
+            handshake = self.last_handshake
+            if handshake is not None and handshake.registered_at is None:
+                # Home re-entry: the first accepted report ends the
+                # handshake without any registration round.
+                handshake.registered_at = self.now
+            # "The combination of stored data and the measurement are
+            # transmitted ... in the next transmission": once a report
+            # is accepted, any backlog follows.
+            if not self._store.is_empty:
+                self._flush_buffer()
+        elif isinstance(message, Nack):
+            self.trace("device.nack", reason=message.reason.value)
+            if message.reason == NackReason.NETWORK_FULL:
+                # Admission refused: measurements keep buffering; retry
+                # membership after a backoff (slots may free up).
+                self._schedule_registration_retry()
+                return
+            if message.sequence is not None:
+                rejected = self._inflight.pop(message.sequence, None)
+                if rejected is not None and message.reason == NackReason.NOT_A_MEMBER:
+                    # The host refused for lack of membership, not for the
+                    # data itself — keep it for after registration.
+                    self._store.store(rejected)
+            decision = self._fsm.report_nacked(message)
+            self._apply_decision(decision)
+        elif isinstance(message, ReceiptResponse):
+            self._on_receipt_response(message)
+        elif isinstance(message, MgmtCommand):
+            self._on_mgmt_command(message)
+        elif isinstance(message, TransferMembership):
+            self._fsm.membership_transferred(message.new_master)
+            self.trace("device.transferred", new_master=str(message.new_master))
+        elif isinstance(message, RemoveDevice):
+            self._fsm.removed()
+            self.trace("device.removed")
+        else:
+            raise ProtocolError(
+                f"unexpected control message {type(message).__name__} for {self.name}"
+            )

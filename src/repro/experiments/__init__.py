@@ -1,0 +1,44 @@
+"""Experiment harnesses.
+
+One module per paper artifact (see DESIGN.md §4):
+
+* :mod:`repro.experiments.fig5` — E1, decentralized vs centralized
+  metering accuracy,
+* :mod:`repro.experiments.fig6` — E2/E3, the mobility timeline and the
+  ``T_handshake`` distribution,
+* :mod:`repro.experiments.ablations` — A1 (error attribution), A2
+  (handshake stages), A3 (storage), A6 (anomaly detection),
+* :mod:`repro.experiments.report` — text rendering of all results.
+"""
+
+from repro.experiments.fig5 import Fig5Result, IntervalRow, run_fig5
+from repro.experiments.fig6 import (
+    Fig6Result,
+    HandshakeStats,
+    run_fig6,
+    run_handshake_distribution,
+)
+from repro.experiments.ablations import (
+    run_anomaly_ablation,
+    run_handshake_stage_ablation,
+    run_sensor_ablation,
+    run_storage_ablation,
+)
+from repro.experiments.report import render_fig5, render_fig6, render_table
+
+__all__ = [
+    "Fig5Result",
+    "IntervalRow",
+    "run_fig5",
+    "Fig6Result",
+    "HandshakeStats",
+    "run_fig6",
+    "run_handshake_distribution",
+    "run_anomaly_ablation",
+    "run_handshake_stage_ablation",
+    "run_sensor_ablation",
+    "run_storage_ablation",
+    "render_fig5",
+    "render_fig6",
+    "render_table",
+]

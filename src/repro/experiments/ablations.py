@@ -1,0 +1,256 @@
+"""Ablation experiments (A1, A2, A3, A6 of DESIGN.md §4).
+
+Each ablation isolates one design decision DESIGN.md calls out:
+
+* A1 — where does the Fig. 5 gap come from? Sweep sensor offset and
+  wire model independently.
+* A2 — which stage dominates ``T_handshake``? Decompose measured
+  handshakes into scan / association / connect / protocol remainder.
+* A3 — does store-and-forward preserve billing across disconnections?
+  Sweep the idle gap and count delivered records.
+* A6 — which detectors catch which tampering attacks?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.detectors import (
+    EntropyDetector,
+    GroundTruthResidualDetector,
+    RelativeVariationDetector,
+)
+from repro.anomaly.tamper import (
+    DropAttack,
+    OffsetAttack,
+    ReplayAttack,
+    ScalingAttack,
+    TamperAttack,
+)
+from repro.device.stack import DeviceConfig
+from repro.errors import ExperimentError
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6, run_handshake_distribution
+from repro.hw.ina219 import Ina219Config
+from repro.hw.powerline import WireSegment
+from repro.workloads.profiles import DutyCycleProfile
+from repro.workloads.scenarios import build_paper_testbed
+
+
+# -- A1: error-source attribution -------------------------------------------
+
+
+@dataclass(frozen=True)
+class SensorAblationRow:
+    """Mean Fig. 5 gap under one error configuration."""
+
+    offset_max_ma: float
+    wire_resistance_ohms: float
+    wire_leakage_ma: float
+    mean_gap_pct: float
+    max_gap_pct: float
+
+
+def run_sensor_ablation(
+    seed: int = 0,
+    duration_s: float = 35.0,
+    warmup_s: float = 15.0,
+    offsets_ma: tuple[float, ...] = (0.0, 0.5, 1.0),
+    wires: tuple[tuple[float, float], ...] = ((0.0, 0.0), (0.1, 2.5)),
+) -> list[SensorAblationRow]:
+    """Sweep sensor offset x wire model; returns one row per combo.
+
+    The ideal corner (offset 0, wire 0/0) should show a near-zero gap —
+    evidence the reproduction's Fig. 5 gap comes from the modelled error
+    sources and nothing else.
+    """
+    rows: list[SensorAblationRow] = []
+    for offset in offsets_ma:
+        for resistance, leakage in wires:
+            sensor = Ina219Config(offset_max_ma=offset)
+            scenario = build_paper_testbed(
+                seed=seed,
+                device_config=DeviceConfig(sensor=sensor),
+                segment=WireSegment(resistance_ohms=resistance, leakage_ma=leakage),
+            )
+            result = run_fig5(
+                duration_s=duration_s, warmup_s=warmup_s, scenario=scenario
+            )
+            rows.append(
+                SensorAblationRow(
+                    offset_max_ma=offset,
+                    wire_resistance_ohms=resistance,
+                    wire_leakage_ma=leakage,
+                    mean_gap_pct=result.mean_gap_pct,
+                    max_gap_pct=result.max_gap_pct,
+                )
+            )
+    return rows
+
+
+# -- A2: handshake stage decomposition ---------------------------------------
+
+
+@dataclass(frozen=True)
+class HandshakeStageRow:
+    """Mean stage durations across handshakes."""
+
+    scan_s: float
+    assoc_s: float
+    connect_s: float
+    protocol_s: float
+    total_s: float
+
+    @property
+    def dominant_stage(self) -> str:
+        """Name of the longest stage."""
+        stages = {
+            "scan": self.scan_s,
+            "assoc": self.assoc_s,
+            "connect": self.connect_s,
+            "protocol": self.protocol_s,
+        }
+        return max(stages, key=stages.get)
+
+
+def run_handshake_stage_ablation(runs: int = 10, base_seed: int = 0) -> HandshakeStageRow:
+    """Decompose ``T_handshake`` into its protocol stages (means)."""
+    scans, assocs, connects, protocols, totals = [], [], [], [], []
+    stats_runs = run_handshake_distribution(runs=runs, base_seed=base_seed)
+    # Re-run each world to pull the per-stage breakdown (the distribution
+    # helper discards the scenario); seeds match so stages correspond.
+    for index in range(runs):
+        scenario = build_paper_testbed(seed=base_seed + 1000 * index, enter_devices=False)
+        from repro.workloads.mobility import MobilityTrace
+
+        scenario.schedule_mobility(
+            "device1",
+            MobilityTrace.single_move(
+                home="agg1", destination="agg2", enter_home_at=0.0,
+                leave_home_at=12.0, idle_s=5.0,
+            ),
+        )
+        scenario.run_until(29.0)
+        handshake = scenario.device("device1").last_handshake
+        if handshake is None or handshake.duration_s is None:
+            raise ExperimentError(f"run {index}: handshake incomplete")
+        total = handshake.duration_s
+        protocol = total - handshake.scan_s - handshake.assoc_s - handshake.connect_s
+        scans.append(handshake.scan_s)
+        assocs.append(handshake.assoc_s)
+        connects.append(handshake.connect_s)
+        protocols.append(max(0.0, protocol))
+        totals.append(total)
+    del stats_runs
+    return HandshakeStageRow(
+        scan_s=float(np.mean(scans)),
+        assoc_s=float(np.mean(assocs)),
+        connect_s=float(np.mean(connects)),
+        protocol_s=float(np.mean(protocols)),
+        total_s=float(np.mean(totals)),
+    )
+
+
+# -- A3: store-and-forward integrity -----------------------------------------
+
+
+@dataclass(frozen=True)
+class StorageAblationRow:
+    """Delivery accounting for one idle-gap length."""
+
+    idle_s: float
+    buffered_records: int
+    ledger_records: int
+    handshake_s: float
+
+    @property
+    def backfill_worked(self) -> bool:
+        """True when buffered consumption reached the ledger."""
+        return self.buffered_records > 0 and self.ledger_records > 0
+
+
+def run_storage_ablation(
+    idle_gaps_s: tuple[float, ...] = (2.0, 10.0, 30.0),
+    seed: int = 0,
+) -> list[StorageAblationRow]:
+    """Sweep the transit gap; verify buffered data lands in the ledger."""
+    rows: list[StorageAblationRow] = []
+    for idle in idle_gaps_s:
+        result = run_fig6(seed=seed, phase1_s=15.0, idle_s=idle, phase2_s=20.0)
+        rows.append(
+            StorageAblationRow(
+                idle_s=idle,
+                buffered_records=result.buffered_records,
+                ledger_records=len(result.consumption_times),
+                handshake_s=result.handshake_s,
+            )
+        )
+    return rows
+
+
+# -- A6: tamper detection -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnomalyAblationRow:
+    """Detection outcome for one attack."""
+
+    attack: str
+    residual_detected: bool
+    variation_detected: bool
+    entropy_detected: bool
+
+    @property
+    def detected_by_any(self) -> bool:
+        """True when at least one detector fired."""
+        return self.residual_detected or self.variation_detected or self.entropy_detected
+
+
+def run_anomaly_ablation(
+    seed: int = 0,
+    windows: int = 600,
+    t_measure_s: float = 0.1,
+) -> list[AnomalyAblationRow]:
+    """Run each attack against the three detectors on a synthetic device.
+
+    The device runs a duty-cycled profile; the attacker manipulates the
+    *reported* stream while the feeder (ground truth) sees the real one.
+    """
+    attacks: list[TamperAttack] = [
+        TamperAttack(),
+        ScalingAttack(0.5),
+        OffsetAttack(25.0),
+        ReplayAttack(capture_after=30),
+        DropAttack(period=3),
+    ]
+    profile = DutyCycleProfile(high_ma=90.0, low_ma=15.0, period_s=4.0, duty=0.5)
+    rows: list[AnomalyAblationRow] = []
+    for attack in attacks:
+        residual = GroundTruthResidualDetector(
+            expected_loss_fraction=0.03, tolerance_fraction=0.10
+        )
+        variation = RelativeVariationDetector(window=50, threshold=3.0)
+        entropy = EntropyDetector(window=100, bins=16, min_entropy_bits=0.5)
+        residual_hit = variation_hit = entropy_hit = False
+        for i in range(windows):
+            t = i * t_measure_s
+            true_ma = profile(t) + 20.0
+            reported = attack.apply(true_ma)
+            feeder_ma = true_ma * 1.03  # feeder truth incl. modest losses
+            if residual.screen(reported, feeder_ma).anomalous:
+                residual_hit = True
+            if variation.screen(reported).anomalous:
+                variation_hit = True
+            if entropy.screen(reported).anomalous:
+                entropy_hit = True
+        rows.append(
+            AnomalyAblationRow(
+                attack=attack.name,
+                residual_detected=residual_hit,
+                variation_detected=variation_hit,
+                entropy_detected=entropy_hit,
+            )
+        )
+    return rows

@@ -1,0 +1,184 @@
+"""Experiments E2/E3 — Fig. 6: device mobility and ``T_handshake``.
+
+E2 reproduces the timeline at Aggregator 1 while ``device1`` moves from
+network 1 to network 2: live reporting, the idle (transit) gap, local
+buffering during the handshake, then the buffered + live data arriving
+from Aggregator 2 over the backhaul.
+
+E3 reproduces the paper's statistic: temporary-membership registration
+took 6 s on average, ranging 5.5-6.5 s over 15 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.workloads.mobility import MobilityTrace
+from repro.workloads.scenarios import Scenario, build_paper_testbed
+
+
+@dataclass
+class Fig6Result:
+    """Timeline and milestones of one mobility run.
+
+    Attributes:
+        arrival_times / arrival_values: The current of the mobile device
+            as *received at Aggregator 1* over (arrival) time — directly
+            comparable to the paper's figure.
+        consumption_times / consumption_values: The same records keyed
+            by their measurement timestamps (shows the consumption that
+            happened during the handshake, backfilled).
+        left_network1_at: When the device disconnected from network 1.
+        entered_network2_at: When it electrically attached in network 2.
+        idle_s: The transit gap (no consumption).
+        handshake_s: Temporary-membership establishment time.
+        buffered_records: Records served from local storage.
+        first_forwarded_at: When Aggregator 1 first received data via
+            Aggregator 2 ("Device data received from Network 2").
+    """
+
+    arrival_times: list[float] = field(default_factory=list)
+    arrival_values: list[float] = field(default_factory=list)
+    consumption_times: list[float] = field(default_factory=list)
+    consumption_values: list[float] = field(default_factory=list)
+    left_network1_at: float = 0.0
+    entered_network2_at: float = 0.0
+    idle_s: float = 0.0
+    handshake_s: float = 0.0
+    buffered_records: int = 0
+    first_forwarded_at: float | None = None
+
+
+def run_fig6(
+    seed: int = 0,
+    phase1_s: float = 20.0,
+    idle_s: float = 10.0,
+    phase2_s: float = 25.0,
+    device_name: str = "device1",
+) -> Fig6Result:
+    """Regenerate the Fig. 6 mobility timeline.
+
+    The mobile device spends ``phase1_s`` in its home network, transits
+    for ``idle_s``, then operates in network 2 for ``phase2_s``.
+    """
+    if min(phase1_s, idle_s, phase2_s) <= 0:
+        raise ExperimentError("all phases must be positive")
+    scenario = build_paper_testbed(seed=seed, enter_devices=False)
+    # Stationary devices enter their homes normally.
+    scenario.enter_at("device2", "agg1", 0.0)
+    scenario.enter_at("device3", "agg2", 0.0)
+    scenario.enter_at("device4", "agg2", 0.0)
+    scenario.schedule_mobility(
+        device_name,
+        MobilityTrace.single_move(
+            home="agg1",
+            destination="agg2",
+            enter_home_at=0.0,
+            leave_home_at=phase1_s,
+            idle_s=idle_s,
+        ),
+    )
+    end_time = phase1_s + idle_s + phase2_s
+    scenario.run_until(end_time)
+
+    device = scenario.device(device_name)
+    agg1 = scenario.aggregator("agg1")
+    result = Fig6Result(
+        left_network1_at=phase1_s,
+        entered_network2_at=phase1_s + idle_s,
+        idle_s=idle_s,
+    )
+    series_name = f"received:{device_name}"
+    if series_name in agg1.monitoring:
+        series = agg1.monitoring[series_name]
+        result.arrival_times = series.times
+        result.arrival_values = series.values
+
+    # Consumption keyed by measurement time, from the ledger.
+    records = sorted(
+        scenario.chain.records_for_device(device.device_id.uid),
+        key=lambda r: float(r["measured_at"]),
+    )
+    result.consumption_times = [float(r["measured_at"]) for r in records]
+    result.consumption_values = [float(r["current_ma"]) for r in records]
+    result.buffered_records = sum(1 for r in records if r.get("buffered"))
+
+    handshake = device.last_handshake
+    if handshake is None or handshake.duration_s is None:
+        raise ExperimentError("mobile device never completed the network-2 handshake")
+    if not handshake.temporary:
+        raise ExperimentError("network-2 handshake did not grant a temporary membership")
+    result.handshake_s = handshake.duration_s
+
+    forwarded = [
+        t
+        for t, _ in zip(result.arrival_times, result.arrival_values)
+        if t > result.entered_network2_at
+    ]
+    result.first_forwarded_at = min(forwarded) if forwarded else None
+    return result
+
+
+@dataclass(frozen=True)
+class HandshakeStats:
+    """E3: the ``T_handshake`` distribution over repeated runs."""
+
+    samples: tuple[float, ...]
+
+    @property
+    def mean_s(self) -> float:
+        """Average handshake time (paper: ~6 s)."""
+        return float(np.mean(self.samples))
+
+    @property
+    def min_s(self) -> float:
+        """Fastest handshake (paper: 5.5 s)."""
+        return float(min(self.samples))
+
+    @property
+    def max_s(self) -> float:
+        """Slowest handshake (paper: 6.5 s)."""
+        return float(max(self.samples))
+
+    @property
+    def runs(self) -> int:
+        """Number of runs measured."""
+        return len(self.samples)
+
+
+def run_handshake_distribution(
+    runs: int = 15,
+    base_seed: int = 0,
+    phase1_s: float = 12.0,
+    idle_s: float = 5.0,
+    settle_s: float = 12.0,
+) -> HandshakeStats:
+    """Measure ``T_handshake`` over ``runs`` independent seeded runs.
+
+    Each run uses a lighter world (only the mobile device enters) since
+    stationary traffic does not affect the handshake path.
+    """
+    if runs < 1:
+        raise ExperimentError(f"need at least one run, got {runs}")
+    samples: list[float] = []
+    for index in range(runs):
+        scenario = build_paper_testbed(seed=base_seed + 1000 * index, enter_devices=False)
+        scenario.schedule_mobility(
+            "device1",
+            MobilityTrace.single_move(
+                home="agg1",
+                destination="agg2",
+                enter_home_at=0.0,
+                leave_home_at=phase1_s,
+                idle_s=idle_s,
+            ),
+        )
+        scenario.run_until(phase1_s + idle_s + settle_s)
+        handshake = scenario.device("device1").last_handshake
+        if handshake is None or handshake.duration_s is None or not handshake.temporary:
+            raise ExperimentError(f"run {index}: temporary handshake did not complete")
+        samples.append(handshake.duration_s)
+    return HandshakeStats(samples=tuple(samples))

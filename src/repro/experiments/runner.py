@@ -1,0 +1,168 @@
+"""Run-everything orchestration used by the CLI.
+
+Each experiment gets a named entry; ``run_all`` executes the requested
+subset and returns rendered text blocks, so the CLI, tests and
+EXPERIMENTS.md generation all share one code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import (
+    run_anomaly_ablation,
+    run_handshake_stage_ablation,
+    run_sensor_ablation,
+    run_storage_ablation,
+)
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6, run_handshake_distribution
+from repro.experiments.report import (
+    render_fig5,
+    render_fig5_bars,
+    render_fig6,
+    render_handshake_stats,
+    render_table,
+)
+
+
+def _run_fig5() -> str:
+    result = run_fig5()
+    return (
+        render_fig5(result)
+        + "\n\n"
+        + render_fig5_bars(result, "agg1")
+    )
+
+
+def _run_fig6() -> str:
+    return render_fig6(run_fig6())
+
+
+def _run_handshake() -> str:
+    return render_handshake_stats(run_handshake_distribution())
+
+
+def _run_sensor_ablation() -> str:
+    rows = run_sensor_ablation()
+    return render_table(
+        ["offset_mA", "wire_ohm", "leak_mA", "mean_gap_%", "max_gap_%"],
+        [
+            [r.offset_max_ma, r.wire_resistance_ohms, r.wire_leakage_ma,
+             r.mean_gap_pct, r.max_gap_pct]
+            for r in rows
+        ],
+    )
+
+
+def _run_handshake_stages() -> str:
+    row = run_handshake_stage_ablation()
+    return render_table(
+        ["scan_s", "assoc_s", "connect_s", "protocol_s", "total_s", "dominant"],
+        [[row.scan_s, row.assoc_s, row.connect_s, row.protocol_s, row.total_s,
+          row.dominant_stage]],
+    )
+
+
+def _run_storage_ablation() -> str:
+    rows = run_storage_ablation()
+    return render_table(
+        ["idle_s", "buffered", "ledger_records", "handshake_s", "backfill_ok"],
+        [[r.idle_s, r.buffered_records, r.ledger_records, r.handshake_s,
+          r.backfill_worked] for r in rows],
+    )
+
+
+def _run_anomaly_ablation() -> str:
+    rows = run_anomaly_ablation()
+    return render_table(
+        ["attack", "residual", "variation", "entropy", "detected"],
+        [[r.attack, r.residual_detected, r.variation_detected,
+          r.entropy_detected, r.detected_by_any] for r in rows],
+    )
+
+
+def _run_attribution() -> str:
+    from repro.anomaly import ScalingAttack
+    from repro.workloads.scenarios import build_paper_testbed
+
+    rows = []
+    for factor in (1.0, 0.5):
+        scenario = build_paper_testbed(seed=8)
+        if factor != 1.0:
+            scenario.device("device1").tamper_attack = ScalingAttack(factor)
+        scenario.run_until(35.0)
+        result = scenario.aggregator("agg1").attribute_anomaly()
+        rows.append(
+            [factor, result.alphas["device1"], result.alphas["device2"],
+             ",".join(result.suspects) or "-"]
+        )
+    return render_table(["report_scale", "alpha_d1", "alpha_d2", "suspects"], rows)
+
+
+def _run_loadbalance() -> str:
+    import numpy as np
+
+    from repro.planning import (
+        BalanceProblem,
+        balance_min_max_utilisation,
+        greedy_rssi_assignment,
+    )
+
+    rows = []
+    for seed in range(3):
+        rng = np.random.default_rng(seed)
+        reachable = {}
+        for d in range(24):
+            candidates = {"agg0": -45.0 - float(rng.uniform(0, 5))}
+            for other in ("agg1", "agg2", "agg3"):
+                if rng.random() < 0.7:
+                    candidates[other] = -60.0 - float(rng.uniform(0, 15))
+            reachable[f"dev{d}"] = candidates
+        problem = BalanceProblem(
+            capacities={f"agg{i}": 12 for i in range(4)}, reachable=reachable
+        )
+        greedy = greedy_rssi_assignment(problem)
+        balanced = balance_min_max_utilisation(problem)
+        rows.append(
+            [seed, greedy.max_utilisation(problem),
+             balanced.max_utilisation(problem), len(balanced.unassigned)]
+        )
+    return render_table(
+        ["seed", "greedy_max_util", "balanced_max_util", "stranded"], rows
+    )
+
+
+def _run_validation() -> str:
+    from repro.experiments.validate import render_validation, run_validation
+
+    return render_validation(run_validation())
+
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "handshake": _run_handshake,
+    "ablation-sensor": _run_sensor_ablation,
+    "ablation-handshake": _run_handshake_stages,
+    "ablation-storage": _run_storage_ablation,
+    "ablation-anomaly": _run_anomaly_ablation,
+    "attribution": _run_attribution,
+    "loadbalance": _run_loadbalance,
+    "validate": _run_validation,
+}
+
+
+def run_all(names: list[str] | None = None) -> dict[str, str]:
+    """Run the requested experiments (all by default); returns texts."""
+    selected = list(EXPERIMENTS) if names is None else names
+    outputs: dict[str, str] = {}
+    for name in selected:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            raise ExperimentError(
+                f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        outputs[name] = runner()
+    return outputs

@@ -1,0 +1,62 @@
+"""Generic parameter-sweep helper for experiments.
+
+A sweep maps a parameter grid over a run function and collects rows —
+the pattern every ablation repeats.  Kept tiny and explicit: a sweep is
+data (list of dicts) in, table (list of rows) out.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+from repro.errors import ExperimentError
+
+RunFn = Callable[..., dict[str, Any]]
+
+
+def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes as a list of parameter dicts.
+
+    >>> grid(a=[1, 2], b=["x"])
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        raise ExperimentError("a grid needs at least one axis")
+    names = list(axes)
+    combos = itertools.product(*(axes[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def sweep(
+    run: RunFn,
+    points: list[dict[str, Any]],
+    columns: list[str] | None = None,
+) -> tuple[list[str], list[list[Any]]]:
+    """Run ``run(**point)`` for every point; tabulate parameters+results.
+
+    ``run`` returns a dict of result values; the output table has one
+    row per point with parameter columns first, result columns after.
+    ``columns`` restricts/orders the result columns (default: keys of
+    the first result, sorted).
+    """
+    if not points:
+        raise ExperimentError("sweep needs at least one point")
+    rows: list[list[Any]] = []
+    param_names = list(points[0])
+    result_names: list[str] | None = list(columns) if columns else None
+    for point in points:
+        if list(point) != param_names:
+            raise ExperimentError(
+                f"inconsistent sweep point keys: {list(point)} != {param_names}"
+            )
+        result = run(**point)
+        if not isinstance(result, dict):
+            raise ExperimentError("run function must return a dict of results")
+        if result_names is None:
+            result_names = sorted(result)
+        rows.append(
+            [point[name] for name in param_names]
+            + [result.get(name) for name in result_names]
+        )
+    return param_names + (result_names or []), rows

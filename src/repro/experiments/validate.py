@@ -1,0 +1,132 @@
+"""Reproduction self-check.
+
+``repro-experiments validate`` runs a compressed version of every
+headline claim and reports pass/fail per check — the fastest way to
+confirm an installation reproduces the paper before trusting longer
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.chain import Block, audit_chain
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6, run_handshake_distribution
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One self-check outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _check_fig5() -> CheckResult:
+    result = run_fig5(seed=0, duration_s=30.0, warmup_s=12.0)
+    passed = result.mean_gap_pct > 0.5 and result.max_gap_pct < 12.0
+    return CheckResult(
+        "fig5: aggregator reads above device sum",
+        passed,
+        f"gap {result.min_gap_pct:.2f}..{result.max_gap_pct:.2f}% "
+        f"(mean {result.mean_gap_pct:.2f}%), paper 0.9..8.2%",
+    )
+
+
+def _check_fig6() -> CheckResult:
+    result = run_fig6(seed=0, phase1_s=12.0, idle_s=5.0, phase2_s=15.0)
+    passed = (
+        5.0 < result.handshake_s < 7.0
+        and result.buffered_records > 0
+        and result.first_forwarded_at is not None
+    )
+    return CheckResult(
+        "fig6: mobility with buffering and forwarding",
+        passed,
+        f"T_handshake {result.handshake_s:.2f}s, "
+        f"{result.buffered_records} records backfilled",
+    )
+
+
+def _check_handshake() -> CheckResult:
+    stats = run_handshake_distribution(runs=5, base_seed=0)
+    passed = 5.0 < stats.mean_s < 7.0
+    return CheckResult(
+        "T_handshake distribution",
+        passed,
+        f"mean {stats.mean_s:.2f}s range {stats.min_s:.2f}-{stats.max_s:.2f}s, "
+        "paper 6s (5.5-6.5s)",
+    )
+
+
+def _check_tamper() -> CheckResult:
+    from repro.workloads.scenarios import build_paper_testbed
+
+    scenario = build_paper_testbed(seed=2)
+    scenario.run_until(8.0)
+    chain = scenario.chain
+    store = chain._store
+    clean_before = audit_chain(chain).clean
+    victim = store.get(1)
+    forged = [dict(r) for r in victim.records]
+    if forged:
+        forged[0]["energy_mwh"] = 0.0
+    store.tamper(1, Block(victim.header, tuple(forged), victim.block_hash))
+    detected = not audit_chain(chain).clean
+    return CheckResult(
+        "ledger tamper detection",
+        clean_before and detected,
+        f"clean before: {clean_before}, mutation detected: {detected}",
+    )
+
+
+def _check_fraud() -> CheckResult:
+    from repro.anomaly import ScalingAttack
+    from repro.workloads.scenarios import build_paper_testbed
+
+    scenario = build_paper_testbed(seed=3)
+    scenario.device("device1").tamper_attack = ScalingAttack(0.5)
+    scenario.run_until(20.0)
+    stats = scenario.aggregator("agg1").verifier.stats
+    honest = scenario.aggregator("agg2").verifier.stats
+    passed = stats.network_anomalies > 0 and honest.network_anomalies == 0
+    return CheckResult(
+        "complementary-measurement fraud detection",
+        passed,
+        f"fraud network flagged {stats.network_anomalies}/{stats.network_checks}, "
+        f"honest {honest.network_anomalies}/{honest.network_checks}",
+    )
+
+
+CHECKS: dict[str, Callable[[], CheckResult]] = {
+    "fig5": _check_fig5,
+    "fig6": _check_fig6,
+    "handshake": _check_handshake,
+    "tamper": _check_tamper,
+    "fraud": _check_fraud,
+}
+
+
+def run_validation() -> list[CheckResult]:
+    """Run every self-check; failures never raise, they report."""
+    results: list[CheckResult] = []
+    for name, check in CHECKS.items():
+        try:
+            results.append(check())
+        except Exception as exc:  # a crash is a failed check, with detail
+            results.append(CheckResult(name, False, f"crashed: {exc}"))
+    return results
+
+
+def render_validation(results: list[CheckResult]) -> str:
+    """Human-readable pass/fail report."""
+    lines = []
+    for result in results:
+        mark = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{mark}] {result.name}\n       {result.detail}")
+    passed = sum(r.passed for r in results)
+    lines.append(f"\n{passed}/{len(results)} checks passed")
+    return "\n".join(lines)

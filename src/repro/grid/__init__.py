@@ -1,0 +1,22 @@
+"""Electrical grid substrate.
+
+Models the *physical* layer of Fig. 1 (blue solid lines): feeders, wire
+segments, attachment points and the per-network feeder meter that gives
+the aggregator its system-level complementary measurement.
+
+The communication network is a separate substrate (:mod:`repro.net`);
+a device can be electrically attached while communicatively disconnected
+(that is exactly the buffering window of Fig. 6).
+"""
+
+from repro.grid.loadflow import network_true_current_ma
+from repro.grid.meter import FeederMeter
+from repro.grid.topology import Attachment, GridNetwork, GridTopology
+
+__all__ = [
+    "Attachment",
+    "GridNetwork",
+    "GridTopology",
+    "FeederMeter",
+    "network_true_current_ma",
+]

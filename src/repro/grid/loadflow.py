@@ -1,0 +1,36 @@
+"""Small load-flow helpers over the grid topology.
+
+The feeder tree here is radial and low-voltage, so "load flow" reduces to
+current summation with per-segment losses — but keeping it behind a
+function boundary lets tests and experiments ask for network-level truth
+without reaching into topology internals.
+"""
+
+from __future__ import annotations
+
+from repro.grid.topology import GridNetwork, GridTopology
+from repro.ids import AggregatorId
+
+
+def network_true_current_ma(network: GridNetwork, at_time: float) -> float:
+    """Ground-truth feeder current for one network."""
+    return network.feeder_current_ma(at_time)
+
+
+def topology_true_current_ma(topology: GridTopology, at_time: float) -> dict[AggregatorId, float]:
+    """Ground-truth feeder current for every network in the topology."""
+    return {
+        net.network_id: net.feeder_current_ma(at_time)
+        for net in topology.networks
+    }
+
+
+def device_share(network: GridNetwork, at_time: float) -> dict[str, float]:
+    """Per-device terminal currents (mA) keyed by device name.
+
+    Useful for the stacked-bar rendering of Fig. 5.
+    """
+    return {
+        device_id.name: network.device_current_ma(device_id, at_time)
+        for device_id in network.attached_devices
+    }

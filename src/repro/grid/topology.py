@@ -1,0 +1,213 @@
+"""Grid topology: networks, attachment points and device mobility.
+
+A :class:`GridNetwork` is one grid-location (one WAN in Fig. 1): a feeder
+bus behind a feeder meter, with devices attached through individual
+:class:`~repro.hw.powerline.WireSegment` runs.  A
+:class:`GridTopology` is the set of all networks plus the invariant that
+a device is electrically attached to at most one network at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import GridError
+from repro.hw.powerline import WireSegment
+from repro.ids import AggregatorId, DeviceId
+
+# A device's true terminal current as a function of simulated time (mA).
+CurrentFn = Callable[[float], float]
+
+
+@dataclass
+class Attachment:
+    """One device electrically attached to a network.
+
+    Attributes:
+        device_id: The attached device.
+        current_fn: True terminal current draw of the device over time.
+        segment: The wire run connecting the device to the feeder.
+        attached_at: Simulated time of attachment.
+    """
+
+    device_id: DeviceId
+    current_fn: CurrentFn
+    segment: WireSegment
+    attached_at: float
+
+
+class GridNetwork:
+    """One grid-location: a feeder bus with attached devices.
+
+    Args:
+        network_id: The aggregator that owns this grid-location.
+        supply_voltage_v: Feeder supply voltage at the attachment points.
+        host_load_ma: Constant draw of the aggregator host itself
+            (an RPi in the testbed), seen by the feeder meter.
+        default_segment: Wire model used when an attachment does not
+            bring its own.
+    """
+
+    def __init__(
+        self,
+        network_id: AggregatorId,
+        supply_voltage_v: float = 5.0,
+        host_load_ma: float = 0.0,
+        default_segment: WireSegment | None = None,
+    ) -> None:
+        if supply_voltage_v <= 0:
+            raise GridError(f"supply voltage must be positive, got {supply_voltage_v}")
+        if host_load_ma < 0:
+            raise GridError(f"host load must be >= 0, got {host_load_ma}")
+        self._network_id = network_id
+        self._supply_voltage_v = supply_voltage_v
+        self._host_load_ma = host_load_ma
+        self._default_segment = default_segment or WireSegment()
+        self._attachments: dict[DeviceId, Attachment] = {}
+
+    @property
+    def network_id(self) -> AggregatorId:
+        """Owning aggregator / grid-location identifier."""
+        return self._network_id
+
+    @property
+    def supply_voltage_v(self) -> float:
+        """Feeder voltage at the attachment points."""
+        return self._supply_voltage_v
+
+    @property
+    def host_load_ma(self) -> float:
+        """Constant aggregator-host draw included in the feeder total."""
+        return self._host_load_ma
+
+    @property
+    def attached_devices(self) -> list[DeviceId]:
+        """IDs of currently attached devices, in attachment order."""
+        return list(self._attachments)
+
+    def is_attached(self, device_id: DeviceId) -> bool:
+        """Whether ``device_id`` is currently on this feeder."""
+        return device_id in self._attachments
+
+    def attach(
+        self,
+        device_id: DeviceId,
+        current_fn: CurrentFn,
+        at_time: float,
+        segment: WireSegment | None = None,
+    ) -> Attachment:
+        """Electrically connect a device to this feeder."""
+        if device_id in self._attachments:
+            raise GridError(f"{device_id} is already attached to {self._network_id}")
+        attachment = Attachment(
+            device_id=device_id,
+            current_fn=current_fn,
+            segment=segment or self._default_segment,
+            attached_at=at_time,
+        )
+        self._attachments[device_id] = attachment
+        return attachment
+
+    def detach(self, device_id: DeviceId) -> None:
+        """Disconnect a device from this feeder."""
+        if device_id not in self._attachments:
+            raise GridError(f"{device_id} is not attached to {self._network_id}")
+        del self._attachments[device_id]
+
+    def device_current_ma(self, device_id: DeviceId, at_time: float) -> float:
+        """True terminal current of one attached device."""
+        attachment = self._attachments.get(device_id)
+        if attachment is None:
+            raise GridError(f"{device_id} is not attached to {self._network_id}")
+        current = attachment.current_fn(at_time)
+        if current < 0:
+            raise GridError(
+                f"{device_id} reported negative draw {current} mA at t={at_time}"
+            )
+        return current
+
+    def feeder_current_ma(self, at_time: float) -> float:
+        """True total current at the feeder (ground truth).
+
+        Sum over attached devices of terminal current plus wire losses,
+        plus the aggregator host's own draw.
+        """
+        total = self._host_load_ma
+        for attachment in self._attachments.values():
+            device_current = self.device_current_ma(attachment.device_id, at_time)
+            total += attachment.segment.feeder_current_ma(
+                device_current, self._supply_voltage_v
+            )
+        return total
+
+
+class GridTopology:
+    """All grid-locations plus the single-attachment invariant."""
+
+    def __init__(self) -> None:
+        self._networks: dict[AggregatorId, GridNetwork] = {}
+        self._location: dict[DeviceId, AggregatorId] = {}
+
+    @property
+    def networks(self) -> list[GridNetwork]:
+        """All registered grid networks."""
+        return list(self._networks.values())
+
+    def add_network(self, network: GridNetwork) -> None:
+        """Register one grid-location."""
+        if network.network_id in self._networks:
+            raise GridError(f"network {network.network_id} already exists")
+        self._networks[network.network_id] = network
+
+    def network(self, network_id: AggregatorId) -> GridNetwork:
+        """Look up a grid-location by its aggregator id."""
+        net = self._networks.get(network_id)
+        if net is None:
+            raise GridError(f"unknown network {network_id}")
+        return net
+
+    def location_of(self, device_id: DeviceId) -> AggregatorId | None:
+        """The grid-location a device is attached to, or None (in transit)."""
+        return self._location.get(device_id)
+
+    def attach(
+        self,
+        device_id: DeviceId,
+        network_id: AggregatorId,
+        current_fn: CurrentFn,
+        at_time: float,
+        segment: WireSegment | None = None,
+    ) -> Attachment:
+        """Attach a device, enforcing at-most-one-location."""
+        current_location = self._location.get(device_id)
+        if current_location is not None:
+            raise GridError(
+                f"{device_id} is attached at {current_location}; detach first"
+            )
+        attachment = self.network(network_id).attach(
+            device_id, current_fn, at_time, segment=segment
+        )
+        self._location[device_id] = network_id
+        return attachment
+
+    def detach(self, device_id: DeviceId) -> None:
+        """Detach a device wherever it is attached."""
+        network_id = self._location.get(device_id)
+        if network_id is None:
+            raise GridError(f"{device_id} is not attached anywhere")
+        self.network(network_id).detach(device_id)
+        del self._location[device_id]
+
+    def move(
+        self,
+        device_id: DeviceId,
+        to_network: AggregatorId,
+        current_fn: CurrentFn,
+        at_time: float,
+        segment: WireSegment | None = None,
+    ) -> Attachment:
+        """Detach-then-attach convenience for mobility scenarios."""
+        if self._location.get(device_id) is not None:
+            self.detach(device_id)
+        return self.attach(device_id, to_network, current_fn, at_time, segment=segment)

@@ -1,0 +1,35 @@
+"""Hardware models — the physical layer of the device stack.
+
+Each model reproduces the behaviour of one component of the paper's
+testbed at the fidelity the experiments need:
+
+* :class:`~repro.hw.ina219.Ina219` — current/power monitor with the
+  datasheet error model (offset, gain, quantisation) that drives the
+  Fig. 5 measurement gap,
+* :class:`~repro.hw.ds3231.Ds3231Rtc` — real-time clock with ppm drift,
+* :class:`~repro.hw.esp32.Esp32Mcu` — device MCU with power states,
+* :class:`~repro.hw.rpi.RaspberryPi` — aggregator host model,
+* :class:`~repro.hw.battery.Battery` — battery + CC/CV charging curve for
+  the e-scooter workload,
+* :class:`~repro.hw.powerline.WireSegment` — ohmic wiring model used by
+  the grid substrate.
+"""
+
+from repro.hw.battery import Battery, CcCvCharger
+from repro.hw.ds3231 import Ds3231Rtc
+from repro.hw.esp32 import Esp32Mcu, McuState
+from repro.hw.ina219 import Ina219, Ina219Config
+from repro.hw.powerline import WireSegment
+from repro.hw.rpi import RaspberryPi
+
+__all__ = [
+    "Battery",
+    "CcCvCharger",
+    "Ds3231Rtc",
+    "Esp32Mcu",
+    "McuState",
+    "Ina219",
+    "Ina219Config",
+    "WireSegment",
+    "RaspberryPi",
+]

@@ -1,0 +1,117 @@
+"""Battery and CC/CV charger models for the e-scooter workload.
+
+The paper's motivating example is an e-scooter that charges in different
+networks.  Its grid-side consumption while charging follows the classic
+constant-current / constant-voltage profile: flat current until the
+battery reaches the CV threshold, then exponentially decaying current
+until the termination cutoff.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError, HardwareError
+from repro.units import SECONDS_PER_HOUR
+
+
+class Battery:
+    """State-of-charge integrator with a fixed capacity.
+
+    Args:
+        capacity_mah: Usable capacity.
+        soc: Initial state of charge in [0, 1].
+    """
+
+    def __init__(self, capacity_mah: float, soc: float = 0.0) -> None:
+        if capacity_mah <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity_mah}")
+        if not 0.0 <= soc <= 1.0:
+            raise ConfigError(f"soc must be in [0, 1], got {soc}")
+        self._capacity_mah = capacity_mah
+        self._charge_mah = soc * capacity_mah
+
+    @property
+    def capacity_mah(self) -> float:
+        """Usable capacity in mAh."""
+        return self._capacity_mah
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._charge_mah / self._capacity_mah
+
+    def add_charge(self, current_ma: float, duration_s: float) -> None:
+        """Integrate ``current_ma`` over ``duration_s`` into the SoC."""
+        if duration_s < 0:
+            raise HardwareError(f"duration must be >= 0, got {duration_s}")
+        self._charge_mah += current_ma * duration_s / SECONDS_PER_HOUR
+        self._charge_mah = min(self._charge_mah, self._capacity_mah)
+        self._charge_mah = max(self._charge_mah, 0.0)
+
+    def drain(self, current_ma: float, duration_s: float) -> None:
+        """Discharge at ``current_ma`` for ``duration_s``."""
+        self.add_charge(-current_ma, duration_s)
+
+
+class CcCvCharger:
+    """Constant-current / constant-voltage charger.
+
+    The charge current as a function of state of charge:
+
+    * SoC < ``cv_threshold_soc``: the full constant current,
+    * above the threshold: exponential decay towards zero, hitting the
+      termination current at SoC = 1.
+
+    Args:
+        cc_current_ma: Bulk-phase constant current.
+        cv_threshold_soc: Where the CV phase begins (typically ~0.8).
+        termination_ratio: Current at full charge as a fraction of CC
+            current (chargers terminate around 0.05-0.1).
+    """
+
+    def __init__(
+        self,
+        cc_current_ma: float,
+        cv_threshold_soc: float = 0.8,
+        termination_ratio: float = 0.05,
+    ) -> None:
+        if cc_current_ma <= 0:
+            raise ConfigError(f"CC current must be positive, got {cc_current_ma}")
+        if not 0.0 < cv_threshold_soc < 1.0:
+            raise ConfigError(
+                f"cv threshold must be in (0, 1), got {cv_threshold_soc}"
+            )
+        if not 0.0 < termination_ratio < 1.0:
+            raise ConfigError(
+                f"termination ratio must be in (0, 1), got {termination_ratio}"
+            )
+        self._cc_current_ma = cc_current_ma
+        self._cv_threshold_soc = cv_threshold_soc
+        self._termination_ratio = termination_ratio
+
+    @property
+    def cc_current_ma(self) -> float:
+        """Bulk constant current."""
+        return self._cc_current_ma
+
+    def charge_current_ma(self, soc: float) -> float:
+        """Grid-side charge current at a given battery SoC."""
+        if not 0.0 <= soc <= 1.0:
+            raise HardwareError(f"soc must be in [0, 1], got {soc}")
+        if soc < self._cv_threshold_soc:
+            return self._cc_current_ma
+        if soc >= 1.0:
+            return 0.0
+        # Exponential decay from CC current at the threshold down to the
+        # termination current at SoC 1.
+        span = 1.0 - self._cv_threshold_soc
+        progress = (soc - self._cv_threshold_soc) / span
+        decay = math.log(self._termination_ratio)
+        return self._cc_current_ma * math.exp(decay * progress)
+
+    def step(self, battery: Battery, duration_s: float) -> float:
+        """Advance charging by ``duration_s``; returns the current drawn."""
+        current = self.charge_current_ma(battery.soc)
+        battery.add_charge(current, duration_s)
+        return current

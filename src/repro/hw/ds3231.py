@@ -1,0 +1,71 @@
+"""DS3231 real-time clock model.
+
+Every device and aggregator in the testbed carries a DS3231 [13], an
+extremely accurate TCXO-compensated RTC (+/-2 ppm over the commercial
+temperature range).  The paper assumes devices and aggregators are
+time-synchronized; this model lets us represent the *residual* error of
+that assumption: each RTC runs at a slightly wrong rate and accumulates
+offset until the next synchronisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, HardwareError
+
+
+class Ds3231Rtc:
+    """An RTC with a fixed frequency error and settable offset.
+
+    Args:
+        rng: Random stream used to draw the per-instance ppm error.
+        ppm_max: Bound of the frequency error (datasheet: 2 ppm).
+        aging_ppm_per_year: Slow drift of the frequency error itself.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        ppm_max: float = 2.0,
+        aging_ppm_per_year: float = 0.1,
+    ) -> None:
+        if ppm_max < 0:
+            raise ConfigError(f"ppm_max must be >= 0, got {ppm_max}")
+        if aging_ppm_per_year < 0:
+            raise ConfigError(f"aging must be >= 0, got {aging_ppm_per_year}")
+        self._ppm = float(rng.uniform(-ppm_max, ppm_max))
+        self._aging_ppm_per_year = aging_ppm_per_year
+        self._offset_s = 0.0
+        self._last_sync_true_time = 0.0
+
+    @property
+    def ppm(self) -> float:
+        """This instance's frozen frequency error in parts per million."""
+        return self._ppm
+
+    def read(self, true_time: float) -> float:
+        """Local clock value at the given true (simulated) time."""
+        if true_time < self._last_sync_true_time:
+            raise HardwareError(
+                f"RTC read at {true_time} before last sync {self._last_sync_true_time}"
+            )
+        elapsed = true_time - self._last_sync_true_time
+        years = elapsed / (365.25 * 24 * 3600)
+        effective_ppm = self._ppm + self._aging_ppm_per_year * years
+        return true_time + self._offset_s + elapsed * effective_ppm * 1e-6
+
+    def error_at(self, true_time: float) -> float:
+        """Clock error (local - true) at the given true time."""
+        return self.read(true_time) - true_time
+
+    def synchronize(self, true_time: float) -> float:
+        """Discipline the clock to the reference at ``true_time``.
+
+        Returns the correction applied (seconds); the aggregator's time
+        synchronisation service calls this on every sync round.
+        """
+        correction = -self.error_at(true_time)
+        self._offset_s = 0.0
+        self._last_sync_true_time = true_time
+        return correction

@@ -1,0 +1,112 @@
+"""ESP32 device MCU model.
+
+The testbed devices are Sparkfun ESP32 Things [11].  For the experiments,
+what matters is the device's *current draw over time*, which depends on
+the MCU power state (deep sleep, idle, active CPU, Wi-Fi RX/TX).  The
+numbers below follow the ESP32 datasheet / SparkFun measurements:
+
+==================  ===============
+State               Typical current
+==================  ===============
+DEEP_SLEEP          0.01 mA
+LIGHT_SLEEP         0.8 mA
+IDLE (modem sleep)  20 mA
+ACTIVE (CPU)        45 mA
+WIFI_RX             100 mA
+WIFI_TX             180 mA
+==================  ===============
+
+Devices additionally draw load current for their *function* (e.g. an
+e-scooter charging its battery); that part lives in the workload
+profiles, not here.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError, HardwareError
+
+
+class McuState(enum.Enum):
+    """Power states of the ESP32 MCU."""
+
+    DEEP_SLEEP = "deep_sleep"
+    LIGHT_SLEEP = "light_sleep"
+    IDLE = "idle"
+    ACTIVE = "active"
+    WIFI_RX = "wifi_rx"
+    WIFI_TX = "wifi_tx"
+
+
+DEFAULT_STATE_CURRENT_MA: dict[McuState, float] = {
+    McuState.DEEP_SLEEP: 0.01,
+    McuState.LIGHT_SLEEP: 0.8,
+    McuState.IDLE: 20.0,
+    McuState.ACTIVE: 45.0,
+    McuState.WIFI_RX: 100.0,
+    McuState.WIFI_TX: 180.0,
+}
+
+
+class Esp32Mcu:
+    """MCU with a power-state machine and time-in-state accounting.
+
+    Args:
+        supply_voltage_v: Operating voltage (3.3 V on the Thing board).
+        state_current_ma: Override of the per-state current table.
+    """
+
+    def __init__(
+        self,
+        supply_voltage_v: float = 3.3,
+        state_current_ma: dict[McuState, float] | None = None,
+    ) -> None:
+        if supply_voltage_v <= 0:
+            raise ConfigError(f"supply voltage must be positive, got {supply_voltage_v}")
+        table = dict(DEFAULT_STATE_CURRENT_MA)
+        if state_current_ma:
+            table.update(state_current_ma)
+        for state, current in table.items():
+            if current < 0:
+                raise ConfigError(f"current for {state} must be >= 0, got {current}")
+        self._supply_voltage_v = supply_voltage_v
+        self._state_current_ma = table
+        self._state = McuState.IDLE
+        self._state_entered_at = 0.0
+        self._time_in_state: dict[McuState, float] = {s: 0.0 for s in McuState}
+
+    @property
+    def supply_voltage_v(self) -> float:
+        """Operating voltage of the board."""
+        return self._supply_voltage_v
+
+    @property
+    def state(self) -> McuState:
+        """Current power state."""
+        return self._state
+
+    def current_ma(self) -> float:
+        """Current draw in the present state."""
+        return self._state_current_ma[self._state]
+
+    def current_in_state_ma(self, state: McuState) -> float:
+        """Current draw the MCU would have in ``state``."""
+        return self._state_current_ma[state]
+
+    def set_state(self, state: McuState, at_time: float) -> None:
+        """Transition to ``state`` at simulated time ``at_time``."""
+        if at_time < self._state_entered_at:
+            raise HardwareError(
+                f"state change at {at_time} precedes last change at {self._state_entered_at}"
+            )
+        self._time_in_state[self._state] += at_time - self._state_entered_at
+        self._state = state
+        self._state_entered_at = at_time
+
+    def time_in_state(self, state: McuState, now: float) -> float:
+        """Total seconds spent in ``state`` up to ``now``."""
+        total = self._time_in_state[state]
+        if state is self._state:
+            total += max(0.0, now - self._state_entered_at)
+        return total

@@ -1,0 +1,129 @@
+"""INA219 current/power monitor model.
+
+The paper's devices and aggregators all carry a TI INA219 [12].  Fig. 5's
+result — the aggregator's system-level measurement reads 0.9-8.2 % above
+the sum of device self-reports — is attributed to "ohmic losses of
+various electrical components and the measurement error of the current
+sensor", with the sensor's 0.5 mA offset error called out explicitly.
+
+This model therefore reproduces the datasheet error terms that matter:
+
+* **offset error** — a per-instance constant drawn once from
+  [-offset_max, +offset_max] (the datasheet bounds it at 0.5 mA for the
+  gain/range the paper uses),
+* **gain error** — a per-instance multiplicative constant,
+* **quantisation** — the 12-bit ADC over the configured range gives a
+  fixed LSB; readings snap to it,
+* **noise** — zero-mean Gaussian per reading,
+* **shunt burden** — the 0.1 ohm shunt drops voltage proportional to
+  current; the grid model can account for it as a series resistance.
+
+The model is deliberately *not* a register-level emulation; experiments
+only consume calibrated current readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, SensorRangeError
+
+
+@dataclass(frozen=True)
+class Ina219Config:
+    """Static configuration of one INA219 instance.
+
+    Defaults follow the datasheet values for the +/-400 mA range used on
+    breakout boards with the 0.1 ohm shunt (PGA /1, 12-bit ADC).
+    """
+
+    shunt_ohms: float = 0.1
+    range_ma: float = 400.0
+    adc_bits: int = 12
+    offset_max_ma: float = 0.5
+    gain_error_max: float = 0.01
+    noise_std_ma: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.shunt_ohms <= 0:
+            raise ConfigError(f"shunt must be positive, got {self.shunt_ohms}")
+        if self.range_ma <= 0:
+            raise ConfigError(f"range must be positive, got {self.range_ma}")
+        if not 8 <= self.adc_bits <= 16:
+            raise ConfigError(f"adc_bits must be in [8, 16], got {self.adc_bits}")
+        if self.offset_max_ma < 0:
+            raise ConfigError(f"offset bound must be >= 0, got {self.offset_max_ma}")
+        if self.gain_error_max < 0:
+            raise ConfigError(f"gain error bound must be >= 0, got {self.gain_error_max}")
+        if self.noise_std_ma < 0:
+            raise ConfigError(f"noise std must be >= 0, got {self.noise_std_ma}")
+
+    @property
+    def lsb_ma(self) -> float:
+        """Current resolution of one ADC code over the signed range."""
+        return 2.0 * self.range_ma / (2 ** self.adc_bits)
+
+
+class Ina219:
+    """One physical sensor instance with frozen per-instance error terms.
+
+    Args:
+        config: Static datasheet configuration.
+        rng: Random stream used to draw the per-instance offset/gain and
+            the per-reading noise.  Pass a stream derived from the device
+            name so every instance gets its own error realisation.
+    """
+
+    def __init__(self, config: Ina219Config, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+        self._offset_ma = float(rng.uniform(-config.offset_max_ma, config.offset_max_ma))
+        self._gain = float(1.0 + rng.uniform(-config.gain_error_max, config.gain_error_max))
+        self._readings_taken = 0
+
+    @property
+    def config(self) -> Ina219Config:
+        """The static configuration this instance was built with."""
+        return self._config
+
+    @property
+    def offset_ma(self) -> float:
+        """This instance's frozen offset error (mA)."""
+        return self._offset_ma
+
+    @property
+    def gain(self) -> float:
+        """This instance's frozen gain factor (unitless, near 1)."""
+        return self._gain
+
+    @property
+    def readings_taken(self) -> int:
+        """Number of measurements performed so far."""
+        return self._readings_taken
+
+    def measure_ma(self, true_current_ma: float) -> float:
+        """Return the sensor's reading for a true current (mA).
+
+        Applies gain, offset, Gaussian noise and LSB quantisation, in the
+        order the physical signal chain applies them.  Raises
+        :class:`~repro.errors.SensorRangeError` when the true current
+        exceeds the configured range (the real part saturates; saturated
+        data would silently corrupt experiments, so we fail loudly).
+        """
+        if abs(true_current_ma) > self._config.range_ma:
+            raise SensorRangeError(
+                f"current {true_current_ma} mA exceeds +/-{self._config.range_ma} mA range"
+            )
+        noisy = true_current_ma * self._gain + self._offset_ma
+        if self._config.noise_std_ma > 0:
+            noisy += float(self._rng.normal(0.0, self._config.noise_std_ma))
+        lsb = self._config.lsb_ma
+        quantised = round(noisy / lsb) * lsb
+        self._readings_taken += 1
+        return quantised
+
+    def shunt_drop_v(self, true_current_ma: float) -> float:
+        """Voltage dropped across the shunt at a given current."""
+        return (true_current_ma / 1000.0) * self._config.shunt_ohms

@@ -1,0 +1,61 @@
+"""Ohmic wiring model.
+
+Fig. 5's central observation is that the aggregator's system-level
+measurement is 0.9-8.2 % *higher* than the sum of the device
+self-reports.  The paper attributes this to "ohmic losses of various
+electrical components" plus sensor error.  The mechanism: each device
+measures the current *at its own terminals*, while the feeder meter sees
+that current *plus* the loss current of connectors, wiring and
+regulators between the feeder and the device.
+
+We model a wire segment as a series resistance plus a small constant
+leakage; the grid substrate composes segments into a feeder tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One series element between the feeder and a device.
+
+    Attributes:
+        resistance_ohms: Series resistance of the segment (wire, connector,
+            protection diode equivalent, ...).
+        leakage_ma: Constant shunt loss along the segment (indicator LEDs,
+            regulator quiescent draw) seen by the feeder but not by the
+            device-side sensor.
+        name: Label for traces.
+    """
+
+    resistance_ohms: float = 0.15
+    leakage_ma: float = 1.0
+    name: str = "segment"
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohms < 0:
+            raise ConfigError(f"resistance must be >= 0, got {self.resistance_ohms}")
+        if self.leakage_ma < 0:
+            raise ConfigError(f"leakage must be >= 0, got {self.leakage_ma}")
+
+    def loss_current_ma(self, device_current_ma: float, supply_voltage_v: float) -> float:
+        """Extra current the feeder sees beyond the device's own draw.
+
+        The I²R dissipation in the segment is supplied at the feeder
+        voltage, so it appears as an additional current
+        ``I² * R / V``; the leakage term adds directly.
+        """
+        if supply_voltage_v <= 0:
+            raise ConfigError(f"supply voltage must be positive, got {supply_voltage_v}")
+        amps = device_current_ma / 1000.0
+        loss_w = amps * amps * self.resistance_ohms
+        loss_ma = (loss_w / supply_voltage_v) * 1000.0
+        return loss_ma + self.leakage_ma
+
+    def feeder_current_ma(self, device_current_ma: float, supply_voltage_v: float) -> float:
+        """Total current the feeder supplies for this device."""
+        return device_current_ma + self.loss_current_ma(device_current_ma, supply_voltage_v)

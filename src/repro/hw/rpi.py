@@ -1,0 +1,66 @@
+"""Raspberry Pi aggregator host model.
+
+Each aggregator in the testbed is an RPi Model B.  For the experiments
+the host contributes (a) a processing latency to every protocol
+operation and (b) its own baseline current draw, which the feeder meter
+of its network sees.  Latencies are drawn per-operation from a lognormal
+around the configured median to represent OS scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class RaspberryPi:
+    """Host model with processing-latency sampling and baseline draw.
+
+    Args:
+        rng: Random stream for latency jitter.
+        median_proc_latency_s: Median per-message processing time.
+        jitter_sigma: Lognormal sigma for the latency distribution.
+        baseline_current_ma: Host's own draw (RPi B idles near 360 mA).
+        supply_voltage_v: Host supply (5 V).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        median_proc_latency_s: float = 0.002,
+        jitter_sigma: float = 0.3,
+        baseline_current_ma: float = 360.0,
+        supply_voltage_v: float = 5.0,
+    ) -> None:
+        if median_proc_latency_s <= 0:
+            raise ConfigError(
+                f"median latency must be positive, got {median_proc_latency_s}"
+            )
+        if jitter_sigma < 0:
+            raise ConfigError(f"jitter sigma must be >= 0, got {jitter_sigma}")
+        if baseline_current_ma < 0:
+            raise ConfigError(f"baseline current must be >= 0, got {baseline_current_ma}")
+        if supply_voltage_v <= 0:
+            raise ConfigError(f"supply voltage must be positive, got {supply_voltage_v}")
+        self._rng = rng
+        self._median = median_proc_latency_s
+        self._sigma = jitter_sigma
+        self._baseline_current_ma = baseline_current_ma
+        self._supply_voltage_v = supply_voltage_v
+
+    @property
+    def baseline_current_ma(self) -> float:
+        """The host's own steady current draw."""
+        return self._baseline_current_ma
+
+    @property
+    def supply_voltage_v(self) -> float:
+        """Host supply voltage."""
+        return self._supply_voltage_v
+
+    def processing_latency_s(self) -> float:
+        """Sample one per-message processing latency."""
+        if self._sigma == 0:
+            return self._median
+        return float(self._median * self._rng.lognormal(0.0, self._sigma))

@@ -1,0 +1,137 @@
+"""Alerting over recorded series — the operational half of monitoring.
+
+Grafana in the testbed was used for live observation; an operator would
+also configure alerts.  An :class:`AlertRule` watches one series for a
+threshold condition sustained over a window; the :class:`AlertManager`
+evaluates all rules against a :class:`~repro.monitoring.timeseries.
+SeriesBank` and keeps a deduplicated alert log (fire once per
+excursion, re-arm after recovery).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.monitoring.timeseries import SeriesBank
+
+
+class AlertCondition(enum.Enum):
+    """Supported threshold conditions."""
+
+    ABOVE = "above"
+    BELOW = "below"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule.
+
+    Attributes:
+        name: Rule identity (used in the alert log).
+        series: Name of the watched series in the bank.
+        condition: Fire when the windowed mean is above/below...
+        threshold: ...this value...
+        window_s: ...over a trailing window of this length.
+    """
+
+    name: str
+    series: str
+    condition: AlertCondition
+    threshold: float
+    window_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("rule name must be non-empty")
+        if self.window_s <= 0:
+            raise ConfigError(f"window must be positive, got {self.window_s}")
+
+    def breached(self, value: float) -> bool:
+        """Whether ``value`` violates the threshold."""
+        if self.condition is AlertCondition.ABOVE:
+            return value > self.threshold
+        return value < self.threshold
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired alert."""
+
+    rule: str
+    time: float
+    value: float
+    message: str
+
+
+@dataclass
+class _RuleState:
+    firing: bool = False
+
+
+class AlertManager:
+    """Evaluates rules against a series bank with re-arm semantics.
+
+    Args:
+        bank: The monitored series.
+    """
+
+    def __init__(self, bank: SeriesBank) -> None:
+        self._bank = bank
+        self._rules: dict[str, AlertRule] = {}
+        self._states: dict[str, _RuleState] = {}
+        self._alerts: list[Alert] = []
+
+    @property
+    def alerts(self) -> list[Alert]:
+        """Every alert fired so far, in order."""
+        return list(self._alerts)
+
+    @property
+    def firing(self) -> list[str]:
+        """Names of rules currently in the firing state."""
+        return [name for name, state in self._states.items() if state.firing]
+
+    def add_rule(self, rule: AlertRule) -> None:
+        """Register a rule (names are unique)."""
+        if rule.name in self._rules:
+            raise ConfigError(f"duplicate rule name {rule.name!r}")
+        self._rules[rule.name] = rule
+        self._states[rule.name] = _RuleState()
+
+    def evaluate(self, now: float) -> list[Alert]:
+        """Evaluate every rule at time ``now``; returns newly fired alerts.
+
+        A rule fires once when its condition first holds and re-arms
+        when the condition clears — no alert storms while an excursion
+        persists.
+        """
+        fired: list[Alert] = []
+        for name, rule in self._rules.items():
+            if rule.series not in self._bank:
+                continue
+            series = self._bank[rule.series]
+            _, values = series.window(now - rule.window_s, now + 1e-12)
+            if not values:
+                continue
+            mean = sum(values) / len(values)
+            state = self._states[name]
+            if rule.breached(mean):
+                if not state.firing:
+                    state.firing = True
+                    alert = Alert(
+                        rule=name,
+                        time=now,
+                        value=mean,
+                        message=(
+                            f"{rule.series} mean {mean:.3f} "
+                            f"{rule.condition.value} {rule.threshold} "
+                            f"over {rule.window_s}s"
+                        ),
+                    )
+                    self._alerts.append(alert)
+                    fired.append(alert)
+            else:
+                state.firing = False
+        return fired

@@ -1,0 +1,54 @@
+"""Text dashboards — terminal rendering of recorded series.
+
+A unicode-block sparkline per series plus summary statistics.  Good
+enough to eyeball a Fig. 6 timeline in a terminal without matplotlib
+(which is not available offline).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.monitoring.timeseries import SeriesBank, TimeSeries
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 60) -> str:
+    """Render values as a fixed-width unicode sparkline."""
+    if not values:
+        return "(empty)"
+    data = np.asarray(values, dtype=float)
+    if len(data) > width:
+        # Mean-pool down to the target width.
+        edges = np.linspace(0, len(data), width + 1).astype(int)
+        data = np.array(
+            [data[a:b].mean() if b > a else data[min(a, len(data) - 1)]
+             for a, b in zip(edges, edges[1:])]
+        )
+    lo, hi = float(data.min()), float(data.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[1] * len(data)
+    scaled = (data - lo) / (hi - lo) * (len(_BLOCKS) - 2)
+    return "".join(_BLOCKS[1 + int(round(v))] for v in scaled)
+
+
+def render_series(series: TimeSeries, width: int = 60) -> str:
+    """One-series panel: name, stats line, sparkline."""
+    values = series.values
+    if not values:
+        return f"{series.name}: (no data)"
+    arr = np.asarray(values)
+    stats = (
+        f"n={len(arr)} min={arr.min():.3f} mean={arr.mean():.3f} "
+        f"max={arr.max():.3f} {series.unit}"
+    )
+    return f"{series.name}\n  {stats}\n  {sparkline(values, width)}"
+
+
+def render_dashboard(bank: SeriesBank, width: int = 60) -> str:
+    """All series in the bank as stacked panels."""
+    panels = [render_series(bank[name], width) for name in bank.names]
+    if not panels:
+        return "(no series recorded)"
+    return "\n\n".join(panels)

@@ -1,0 +1,45 @@
+"""Series export to CSV and JSON for external tooling."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.monitoring.timeseries import SeriesBank, TimeSeries
+
+
+def series_to_csv(series: TimeSeries) -> str:
+    """CSV text with ``time,value`` rows and a header."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", f"value_{series.unit or 'raw'}"])
+    for time, value in zip(series.times, series.values):
+        writer.writerow([f"{time:.6f}", f"{value:.9g}"])
+    return buffer.getvalue()
+
+
+def series_to_json(series: TimeSeries) -> str:
+    """JSON document with metadata and parallel arrays."""
+    return json.dumps(
+        {
+            "name": series.name,
+            "unit": series.unit,
+            "times": series.times,
+            "values": series.values,
+        }
+    )
+
+
+def export_bank(bank: SeriesBank, directory: str | Path) -> list[Path]:
+    """Write every series in ``bank`` as CSV files; returns the paths."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name in bank.names:
+        safe = name.replace("/", "_").replace(" ", "_").replace(":", "_")
+        path = target / f"{safe}.csv"
+        path.write_text(series_to_csv(bank[name]))
+        written.append(path)
+    return written

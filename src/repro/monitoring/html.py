@@ -1,0 +1,99 @@
+"""Self-contained HTML dashboard export.
+
+The testbed's Grafana showed live charts; this renderer produces a
+single dependency-free HTML file with inline SVG line charts for every
+recorded series — openable anywhere, attachable to reports.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.monitoring.timeseries import SeriesBank, TimeSeries
+
+_PAGE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{title}</title>
+<style>
+ body {{ font-family: sans-serif; margin: 2em; background: #fafafa; }}
+ .panel {{ background: #fff; border: 1px solid #ddd; border-radius: 6px;
+           padding: 1em; margin-bottom: 1.5em; }}
+ .panel h2 {{ margin: 0 0 0.2em 0; font-size: 1.0em; }}
+ .stats {{ color: #666; font-size: 0.85em; margin-bottom: 0.5em; }}
+ svg {{ width: 100%; height: 140px; }}
+ polyline {{ fill: none; stroke: #2a6fb0; stroke-width: 1.5; }}
+ .axis {{ stroke: #ccc; stroke-width: 1; }}
+ .label {{ fill: #888; font-size: 10px; }}
+</style></head><body>
+<h1>{title}</h1>
+{panels}
+</body></html>
+"""
+
+_PANEL = """<div class="panel">
+<h2>{name}</h2>
+<div class="stats">n={n} &middot; min={lo:.3f} &middot; mean={mean:.3f}
+ &middot; max={hi:.3f} {unit}</div>
+<svg viewBox="0 0 800 140" preserveAspectRatio="none">
+<line class="axis" x1="0" y1="130" x2="800" y2="130"/>
+<polyline points="{points}"/>
+<text class="label" x="2" y="12">{hi:.1f}</text>
+<text class="label" x="2" y="128">{lo:.1f}</text>
+</svg></div>
+"""
+
+
+def _svg_points(series: TimeSeries, width: int = 800, height: int = 120, top: int = 10) -> str:
+    times = series.times
+    values = series.values
+    if not times:
+        return ""
+    t_lo, t_hi = times[0], times[-1]
+    v_lo, v_hi = min(values), max(values)
+    t_span = (t_hi - t_lo) or 1.0
+    v_span = (v_hi - v_lo) or 1.0
+    # Downsample long series: one point per horizontal pixel is plenty.
+    step = max(1, len(times) // width)
+    points = []
+    for i in range(0, len(times), step):
+        x = (times[i] - t_lo) / t_span * width
+        y = top + (1.0 - (values[i] - v_lo) / v_span) * height
+        points.append(f"{x:.1f},{y:.1f}")
+    return " ".join(points)
+
+
+def render_series_html(series: TimeSeries) -> str:
+    """One panel's HTML for a single series."""
+    values = series.values
+    if not values:
+        return _PANEL.format(
+            name=html.escape(series.name), n=0, lo=0.0, mean=0.0, hi=0.0,
+            unit=html.escape(series.unit), points="",
+        )
+    return _PANEL.format(
+        name=html.escape(series.name),
+        n=len(values),
+        lo=min(values),
+        mean=sum(values) / len(values),
+        hi=max(values),
+        unit=html.escape(series.unit),
+        points=_svg_points(series),
+    )
+
+
+def render_dashboard_html(bank: SeriesBank, title: str = "repro dashboard") -> str:
+    """The full page for every series in the bank."""
+    panels = "".join(render_series_html(bank[name]) for name in bank.names)
+    if not panels:
+        panels = "<p>(no series recorded)</p>"
+    return _PAGE.format(title=html.escape(title), panels=panels)
+
+
+def save_dashboard_html(bank: SeriesBank, path: str | Path, title: str = "repro dashboard") -> Path:
+    """Write the dashboard page to ``path``; returns it."""
+    target = Path(path)
+    if target.suffix != ".html":
+        raise ConfigError(f"dashboard path should end in .html, got {target}")
+    target.write_text(render_dashboard_html(bank, title))
+    return target

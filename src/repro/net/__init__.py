@@ -1,0 +1,40 @@
+"""Communication-network substrate.
+
+Models the second connectivity layer of Fig. 1 (black dotted lines):
+
+* :class:`~repro.net.channel.WirelessChannel` — log-distance path loss,
+  RSSI, packet error rate, airtime,
+* :class:`~repro.net.wifi.WifiRadio` — scan / association / disconnect
+  behaviour whose latencies dominate the paper's ``T_handshake``,
+* :class:`~repro.net.mqtt.MqttBroker` — topic-based pub/sub with QoS 0/1
+  (the paper transfers consumption data over MQTT),
+* :class:`~repro.net.tdma.TdmaSchedule` — aggregator-granted time slots
+  ("the aggregator provides the devices with time-slots for
+  communication to prevent interference"),
+* :class:`~repro.net.timesync.TimeSyncService` — periodic RTC
+  discipline (the paper assumes devices and aggregators are
+  time-synchronized),
+* :class:`~repro.net.backhaul.BackhaulMesh` — the inter-aggregator
+  mesh/cloud network (~1 ms links).
+"""
+
+from repro.net.backhaul import BackhaulLink, BackhaulMesh
+from repro.net.channel import ChannelParams, WirelessChannel
+from repro.net.mqtt import MqttBroker, MqttClient, QoS
+from repro.net.tdma import TdmaSchedule
+from repro.net.timesync import TimeSyncService
+from repro.net.wifi import WifiParams, WifiRadio
+
+__all__ = [
+    "BackhaulLink",
+    "BackhaulMesh",
+    "ChannelParams",
+    "WirelessChannel",
+    "MqttBroker",
+    "MqttClient",
+    "QoS",
+    "TdmaSchedule",
+    "TimeSyncService",
+    "WifiParams",
+    "WifiRadio",
+]

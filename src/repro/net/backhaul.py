@@ -1,0 +1,113 @@
+"""Inter-aggregator backhaul mesh.
+
+"The aggregators are interconnected through a mesh/cloud network to
+exchange consumption data of the devices connected to them", and the
+paper measures the aggregator-to-aggregator delay at ~1 ms because "the
+backhaul network is assumed to have high bandwidth" (§III-B).
+
+We model the mesh as a networkx graph whose edges carry latency;
+messages route over the minimum-latency path and arrive after the sum of
+link latencies plus per-hop forwarding cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import networkx as nx
+
+from repro.errors import BackhaulError
+from repro.ids import AggregatorId
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+BackhaulHandler = Callable[[AggregatorId, Any], None]
+
+
+@dataclass(frozen=True)
+class BackhaulLink:
+    """One mesh link between two aggregators."""
+
+    a: AggregatorId
+    b: AggregatorId
+    latency_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.latency_s <= 0:
+            raise BackhaulError(f"link latency must be positive, got {self.latency_s}")
+        if self.a == self.b:
+            raise BackhaulError(f"self-link at {self.a} not allowed")
+
+
+class BackhaulMesh(Process):
+    """Routes messages between aggregators over the mesh graph.
+
+    Args:
+        simulator: The kernel.
+        per_hop_cost_s: Forwarding cost added at each intermediate hop.
+    """
+
+    def __init__(self, simulator: Simulator, per_hop_cost_s: float = 0.0002) -> None:
+        super().__init__(simulator, "backhaul")
+        if per_hop_cost_s < 0:
+            raise BackhaulError(f"per-hop cost must be >= 0, got {per_hop_cost_s}")
+        self._graph = nx.Graph()
+        self._handlers: dict[AggregatorId, BackhaulHandler] = {}
+        self._per_hop_cost_s = per_hop_cost_s
+        self._messages_sent = 0
+
+    @property
+    def messages_sent(self) -> int:
+        """Total messages routed so far."""
+        return self._messages_sent
+
+    def add_aggregator(self, aggregator_id: AggregatorId, handler: BackhaulHandler) -> None:
+        """Attach an aggregator and its receive handler to the mesh."""
+        if aggregator_id in self._handlers:
+            raise BackhaulError(f"{aggregator_id} already on the mesh")
+        self._graph.add_node(aggregator_id)
+        self._handlers[aggregator_id] = handler
+
+    def connect(self, link: BackhaulLink) -> None:
+        """Add one mesh link."""
+        for end in (link.a, link.b):
+            if end not in self._handlers:
+                raise BackhaulError(f"{end} is not on the mesh")
+        self._graph.add_edge(link.a, link.b, latency=link.latency_s)
+
+    def latency_s(self, source: AggregatorId, destination: AggregatorId) -> float:
+        """End-to-end latency along the best path."""
+        if source == destination:
+            return 0.0
+        try:
+            path = nx.shortest_path(self._graph, source, destination, weight="latency")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise BackhaulError(f"no backhaul path {source} -> {destination}") from exc
+        total = 0.0
+        for a, b in zip(path, path[1:]):
+            total += self._graph.edges[a, b]["latency"]
+        total += self._per_hop_cost_s * max(0, len(path) - 2)
+        return total
+
+    def send(self, source: AggregatorId, destination: AggregatorId, payload: Any) -> float:
+        """Deliver ``payload`` to ``destination``; returns the latency."""
+        handler = self._handlers.get(destination)
+        if handler is None:
+            raise BackhaulError(f"unknown destination {destination}")
+        latency = self.latency_s(source, destination)
+        self._messages_sent += 1
+        self.trace("backhaul.send", source=str(source), destination=str(destination))
+
+        def _arrive() -> None:
+            handler(source, payload)
+
+        self.sim.call_later(latency, _arrive, label=f"backhaul:{source}->{destination}")
+        return latency
+
+    def broadcast(self, source: AggregatorId, payload: Any) -> int:
+        """Send ``payload`` to every other aggregator; returns fan-out."""
+        others = [agg for agg in self._handlers if agg != source]
+        for destination in others:
+            self.send(source, destination, payload)
+        return len(others)

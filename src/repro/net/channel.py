@@ -1,0 +1,107 @@
+"""Wireless channel model.
+
+A log-distance path-loss model produces the RSSI a device sees from each
+aggregator's access point — the paper uses RSSI to pick the reporting
+aggregator (footnote 2).  Packet errors follow a logistic curve in RSSI,
+and airtime follows from frame size over the configured PHY rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelError, ConfigError
+
+
+@dataclass(frozen=True)
+class ChannelParams:
+    """Radio-environment parameters.
+
+    Defaults model 2.4 GHz indoor Wi-Fi.
+
+    Attributes:
+        tx_power_dbm: Transmit power of the access points.
+        path_loss_exponent: Log-distance exponent (2 free space, ~3 indoor).
+        reference_loss_db: Loss at the 1 m reference distance.
+        shadowing_sigma_db: Std-dev of log-normal shadowing.
+        noise_floor_dbm: Receiver noise floor.
+        per_midpoint_dbm: RSSI at which packet error rate is 50 %.
+        per_steepness: Logistic steepness (dB⁻¹) of the PER curve.
+        phy_rate_mbps: Effective PHY rate for airtime computation.
+    """
+
+    tx_power_dbm: float = 16.0
+    path_loss_exponent: float = 3.0
+    reference_loss_db: float = 40.0
+    shadowing_sigma_db: float = 2.0
+    noise_floor_dbm: float = -95.0
+    per_midpoint_dbm: float = -88.0
+    per_steepness: float = 0.8
+    phy_rate_mbps: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.path_loss_exponent <= 0:
+            raise ConfigError(
+                f"path loss exponent must be positive, got {self.path_loss_exponent}"
+            )
+        if self.shadowing_sigma_db < 0:
+            raise ConfigError(
+                f"shadowing sigma must be >= 0, got {self.shadowing_sigma_db}"
+            )
+        if self.phy_rate_mbps <= 0:
+            raise ConfigError(f"PHY rate must be positive, got {self.phy_rate_mbps}")
+
+
+class WirelessChannel:
+    """Evaluates RSSI, packet error rate and airtime between positions.
+
+    Args:
+        params: Radio-environment parameters.
+        rng: Random stream for shadowing and per-packet error draws.
+    """
+
+    def __init__(self, params: ChannelParams, rng: np.random.Generator) -> None:
+        self._params = params
+        self._rng = rng
+
+    @property
+    def params(self) -> ChannelParams:
+        """The radio-environment parameters."""
+        return self._params
+
+    def path_loss_db(self, distance_m: float, shadowed: bool = True) -> float:
+        """Log-distance path loss, optionally with one shadowing draw."""
+        if distance_m <= 0:
+            raise ChannelError(f"distance must be positive, got {distance_m}")
+        loss = (
+            self._params.reference_loss_db
+            + 10.0 * self._params.path_loss_exponent * math.log10(max(distance_m, 1.0))
+        )
+        if shadowed and self._params.shadowing_sigma_db > 0:
+            loss += float(self._rng.normal(0.0, self._params.shadowing_sigma_db))
+        return loss
+
+    def rssi_dbm(self, distance_m: float, shadowed: bool = True) -> float:
+        """Received signal strength at ``distance_m`` from the AP."""
+        return self._params.tx_power_dbm - self.path_loss_db(distance_m, shadowed=shadowed)
+
+    def packet_error_rate(self, rssi_dbm: float) -> float:
+        """Logistic PER-vs-RSSI curve in [0, 1]."""
+        x = self._params.per_steepness * (self._params.per_midpoint_dbm - rssi_dbm)
+        # Clamp the exponent so extreme RSSI values cannot overflow.
+        x = max(-60.0, min(60.0, x))
+        return 1.0 / (1.0 + math.exp(-x))
+
+    def packet_lost(self, rssi_dbm: float) -> bool:
+        """Draw one packet-loss outcome at the given RSSI."""
+        return bool(self._rng.random() < self.packet_error_rate(rssi_dbm))
+
+    def airtime_s(self, payload_bytes: int, overhead_bytes: int = 60) -> float:
+        """Transmission time of one frame at the configured PHY rate."""
+        if payload_bytes < 0:
+            raise ChannelError(f"payload size must be >= 0, got {payload_bytes}")
+        bits = (payload_bytes + overhead_bytes) * 8
+        return bits / (self._params.phy_rate_mbps * 1e6)

@@ -1,0 +1,251 @@
+"""MQTT-like publish/subscribe transport.
+
+The testbed moves consumption data over MQTT on Wi-Fi.  This module
+models the pieces the experiments feel:
+
+* per-client **connect** latency (TCP + MQTT CONNECT/CONNACK),
+* topic-based routing with ``+``/``#`` wildcards,
+* **QoS 0** (fire and forget, packets can be lost) and **QoS 1**
+  (acknowledged, retransmitted until acked),
+* delivery latency = airtime + broker processing.
+
+The broker lives on the aggregator host; clients are devices (and the
+aggregator's own services subscribe locally with zero airtime).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.net.channel import WirelessChannel
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+
+Subscriber = Callable[[str, Any], None]
+
+
+class QoS(enum.IntEnum):
+    """Supported MQTT quality-of-service levels."""
+
+    AT_MOST_ONCE = 0
+    AT_LEAST_ONCE = 1
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """MQTT topic-filter matching with ``+`` and trailing ``#``."""
+    pattern_parts = pattern.split("/")
+    topic_parts = topic.split("/")
+    for i, part in enumerate(pattern_parts):
+        if part == "#":
+            if i != len(pattern_parts) - 1:
+                raise NetworkError(f"'#' must be the last level in filter {pattern!r}")
+            return True
+        if i >= len(topic_parts):
+            return False
+        if part != "+" and part != topic_parts[i]:
+            return False
+    return len(pattern_parts) == len(topic_parts)
+
+
+@dataclass
+class _Subscription:
+    pattern: str
+    callback: Subscriber
+
+
+class MqttBroker(Process):
+    """Topic router hosted by one aggregator.
+
+    Args:
+        simulator: The kernel to schedule deliveries on.
+        name: Broker name for traces (usually the aggregator name).
+        processing_latency_s: Broker-side handling per message.
+        connect_latency_s: Median TCP+MQTT connect time.
+        connect_jitter_sigma: Lognormal sigma for connect time.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        processing_latency_s: float = 0.001,
+        connect_latency_s: float = 0.35,
+        connect_jitter_sigma: float = 0.2,
+    ) -> None:
+        super().__init__(simulator, name)
+        if processing_latency_s < 0:
+            raise NetworkError(
+                f"processing latency must be >= 0, got {processing_latency_s}"
+            )
+        if connect_latency_s <= 0:
+            raise NetworkError(
+                f"connect latency must be positive, got {connect_latency_s}"
+            )
+        self._processing_latency_s = processing_latency_s
+        self._connect_latency_s = connect_latency_s
+        self._connect_jitter_sigma = connect_jitter_sigma
+        self._subscriptions: list[_Subscription] = []
+        self._messages_routed = 0
+
+    @property
+    def messages_routed(self) -> int:
+        """Messages delivered to at least one subscriber."""
+        return self._messages_routed
+
+    def connect_duration_s(self) -> float:
+        """Sample one client connect latency."""
+        if self._connect_jitter_sigma == 0:
+            return self._connect_latency_s
+        return float(
+            self._connect_latency_s
+            * self.rng("connect").lognormal(0.0, self._connect_jitter_sigma)
+        )
+
+    def subscribe(self, pattern: str, callback: Subscriber) -> None:
+        """Register ``callback`` for topics matching ``pattern``."""
+        # Validate the filter eagerly so a bad '#' placement fails here,
+        # not on first publish.
+        topic_matches(pattern, pattern.replace("+", "x").replace("#", "x"))
+        self._subscriptions.append(_Subscription(pattern, callback))
+
+    def unsubscribe(self, pattern: str, callback: Subscriber) -> None:
+        """Remove a previously registered subscription."""
+        before = len(self._subscriptions)
+        self._subscriptions = [
+            s
+            for s in self._subscriptions
+            if not (s.pattern == pattern and s.callback == callback)
+        ]
+        if len(self._subscriptions) == before:
+            raise NetworkError(f"no subscription {pattern!r} to remove")
+
+    def deliver(self, topic: str, payload: Any, after_s: float = 0.0) -> None:
+        """Route ``payload`` to matching subscribers after a delay."""
+        delay = after_s + self._processing_latency_s
+
+        def _route() -> None:
+            matched = False
+            for sub in list(self._subscriptions):
+                if topic_matches(sub.pattern, topic):
+                    matched = True
+                    sub.callback(topic, payload)
+            if matched:
+                self._messages_routed += 1
+            self.trace("mqtt.deliver", topic=topic, matched=matched)
+
+        self.sim.call_later(delay, _route, label=f"mqtt:{topic}")
+
+
+class MqttClient(Process):
+    """A device-side MQTT client publishing over the wireless channel.
+
+    Args:
+        simulator: The kernel.
+        name: Client name (device name).
+        channel: Wireless channel between the client and the broker's AP.
+        max_retries: QoS 1 retransmission budget.
+        retry_backoff_s: Delay before a QoS 1 retransmission.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        channel: WirelessChannel,
+        max_retries: int = 5,
+        retry_backoff_s: float = 0.2,
+    ) -> None:
+        super().__init__(simulator, name)
+        if max_retries < 0:
+            raise NetworkError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s <= 0:
+            raise NetworkError(f"retry backoff must be positive, got {retry_backoff_s}")
+        self._channel = channel
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._broker: MqttBroker | None = None
+        self._rssi_dbm: float | None = None
+        self._published = 0
+        self._dropped = 0
+        self._retransmissions = 0
+
+    @property
+    def connected(self) -> bool:
+        """Whether the client currently has a broker session."""
+        return self._broker is not None
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters: published, dropped, retransmissions."""
+        return {
+            "published": self._published,
+            "dropped": self._dropped,
+            "retransmissions": self._retransmissions,
+        }
+
+    def connect(
+        self,
+        broker: MqttBroker,
+        rssi_dbm: float,
+        on_connected: Callable[[], None] | None = None,
+    ) -> float:
+        """Open a session to ``broker``; returns the connect latency.
+
+        ``on_connected`` fires when the CONNACK would arrive.
+        """
+        latency = broker.connect_duration_s()
+
+        def _established() -> None:
+            self._broker = broker
+            self._rssi_dbm = rssi_dbm
+            self.trace("mqtt.connected", broker=broker.name, rssi_dbm=rssi_dbm)
+            if on_connected is not None:
+                on_connected()
+
+        self.sim.call_later(latency, _established, label=f"mqtt-connect:{self.name}")
+        return latency
+
+    def disconnect(self) -> None:
+        """Drop the broker session (e.g. on leaving the network)."""
+        self._broker = None
+        self._rssi_dbm = None
+        self.trace("mqtt.disconnected")
+
+    def publish(
+        self,
+        topic: str,
+        payload: Any,
+        qos: QoS = QoS.AT_LEAST_ONCE,
+        payload_bytes: int = 64,
+    ) -> bool:
+        """Publish one message.
+
+        Returns True if the message was handed to the broker (after loss
+        and, for QoS 1, retries); False if it was dropped.  Raises
+        :class:`~repro.errors.NetworkError` when not connected — callers
+        (the device data layer) are expected to buffer instead of
+        publishing blind.
+        """
+        if self._broker is None or self._rssi_dbm is None:
+            raise NetworkError(f"client {self.name} is not connected")
+        airtime = self._channel.airtime_s(payload_bytes)
+        attempts = 1 + (self._max_retries if qos == QoS.AT_LEAST_ONCE else 0)
+        delay = 0.0
+        for attempt in range(attempts):
+            delay += airtime
+            if not self._channel.packet_lost(self._rssi_dbm):
+                self._broker.deliver(topic, payload, after_s=delay)
+                self._published += 1
+                if attempt > 0:
+                    self._retransmissions += attempt
+                return True
+            delay += self._retry_backoff_s
+        self._dropped += 1
+        self.trace("mqtt.drop", topic=topic)
+        return False

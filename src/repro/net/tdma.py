@@ -1,0 +1,94 @@
+"""TDMA time-slot allocation.
+
+"The aggregator provides the devices with time-slots for communication to
+prevent interference.  With limited time-slots for communication, the
+number of devices connected to an aggregator is also limited." (§II-A)
+
+A superframe of ``T_measure`` seconds is divided into equal slots; each
+registered device owns one slot and reports once per superframe, which
+yields exactly the paper's per-device reporting rate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SlotAllocationError
+from repro.ids import DeviceId
+
+
+class TdmaSchedule:
+    """Slot assignment within a repeating superframe.
+
+    Args:
+        superframe_s: Length of the superframe — the measurement
+            interval ``T_measure`` (0.1 s in the paper).
+        slot_count: Number of slots; bounds devices per aggregator.
+    """
+
+    def __init__(self, superframe_s: float = 0.1, slot_count: int = 16) -> None:
+        if superframe_s <= 0:
+            raise SlotAllocationError(f"superframe must be positive, got {superframe_s}")
+        if slot_count <= 0:
+            raise SlotAllocationError(f"slot count must be positive, got {slot_count}")
+        self._superframe_s = superframe_s
+        self._slot_count = slot_count
+        self._assignments: dict[DeviceId, int] = {}
+
+    @property
+    def superframe_s(self) -> float:
+        """Superframe (= reporting interval) length in seconds."""
+        return self._superframe_s
+
+    @property
+    def slot_count(self) -> int:
+        """Total slots per superframe."""
+        return self._slot_count
+
+    @property
+    def slot_duration_s(self) -> float:
+        """Length of one slot."""
+        return self._superframe_s / self._slot_count
+
+    @property
+    def free_slots(self) -> int:
+        """Slots still available for new devices."""
+        return self._slot_count - len(self._assignments)
+
+    def slot_of(self, device_id: DeviceId) -> int | None:
+        """Slot index assigned to a device, or None."""
+        return self._assignments.get(device_id)
+
+    def assign(self, device_id: DeviceId) -> int:
+        """Grant the lowest free slot to a device."""
+        if device_id in self._assignments:
+            return self._assignments[device_id]
+        used = set(self._assignments.values())
+        for slot in range(self._slot_count):
+            if slot not in used:
+                self._assignments[device_id] = slot
+                return slot
+        raise SlotAllocationError(
+            f"no free slot for {device_id}: all {self._slot_count} in use"
+        )
+
+    def release(self, device_id: DeviceId) -> None:
+        """Return a device's slot to the pool."""
+        if device_id not in self._assignments:
+            raise SlotAllocationError(f"{device_id} holds no slot")
+        del self._assignments[device_id]
+
+    def slot_offset_s(self, device_id: DeviceId) -> float:
+        """Offset of the device's slot from the superframe start."""
+        slot = self._assignments.get(device_id)
+        if slot is None:
+            raise SlotAllocationError(f"{device_id} holds no slot")
+        return slot * self.slot_duration_s
+
+    def next_slot_time(self, device_id: DeviceId, now: float) -> float:
+        """Earliest time >= ``now`` that falls on the device's slot start."""
+        offset = self.slot_offset_s(device_id)
+        frames_elapsed = max(0.0, now - offset) / self._superframe_s
+        frame_index = int(frames_elapsed)
+        candidate = frame_index * self._superframe_s + offset
+        if candidate < now:
+            candidate += self._superframe_s
+        return candidate

@@ -1,0 +1,115 @@
+"""Wi-Fi radio behaviour: scanning, association, disconnection.
+
+The paper's ``T_handshake`` (~6 s, range 5.5-6.5 s) is the time from the
+device arriving in a new network until its temporary membership is
+established.  On real ESP32 hardware that time is dominated by:
+
+1. **channel scanning** — the device "continuously scans the
+   communication network to determine its reporting aggregator";
+   a passive scan dwells ~120 ms on each of 13 channels per pass,
+   and typically needs 2-3 passes to collect stable RSSI,
+2. **association + DHCP** — auth/assoc frames plus address assignment,
+   typically 1-2 s on ESP32,
+3. **MQTT connect** and the Nack-triggered registration round-trips
+   (modelled in :mod:`repro.net.mqtt` / :mod:`repro.protocol`).
+
+The stage latencies here are configurable so the A2 ablation can
+attribute the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WifiParams:
+    """Latency model of the Wi-Fi join procedure.
+
+    Attributes:
+        channels: Channels swept during a scan pass.
+        dwell_s: Passive-scan dwell time per channel.
+        scan_passes_min / scan_passes_max: Passes needed for a stable
+            RSSI ranking (uniform draw).
+        assoc_latency_s: Median auth + association + DHCP time.
+        assoc_jitter_sigma: Lognormal sigma of association time.
+        disconnect_detect_s: Time to declare the old AP lost (beacon
+            timeouts) once out of range.
+    """
+
+    channels: int = 13
+    dwell_s: float = 0.110
+    scan_passes_min: int = 3
+    scan_passes_max: int = 3
+    assoc_latency_s: float = 1.2
+    assoc_jitter_sigma: float = 0.12
+    disconnect_detect_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.channels <= 0:
+            raise ConfigError(f"channels must be positive, got {self.channels}")
+        if self.dwell_s <= 0:
+            raise ConfigError(f"dwell must be positive, got {self.dwell_s}")
+        if not 1 <= self.scan_passes_min <= self.scan_passes_max:
+            raise ConfigError(
+                "scan passes must satisfy 1 <= min <= max, got "
+                f"{self.scan_passes_min}..{self.scan_passes_max}"
+            )
+        if self.assoc_latency_s <= 0:
+            raise ConfigError(
+                f"association latency must be positive, got {self.assoc_latency_s}"
+            )
+        if self.assoc_jitter_sigma < 0:
+            raise ConfigError(
+                f"association jitter must be >= 0, got {self.assoc_jitter_sigma}"
+            )
+        if self.disconnect_detect_s < 0:
+            raise ConfigError(
+                f"disconnect detection must be >= 0, got {self.disconnect_detect_s}"
+            )
+
+
+class WifiRadio:
+    """Samples join-procedure stage latencies for one device radio.
+
+    Args:
+        params: Latency model parameters.
+        rng: Random stream for jitter draws.
+    """
+
+    def __init__(self, params: WifiParams, rng: np.random.Generator) -> None:
+        self._params = params
+        self._rng = rng
+
+    @property
+    def params(self) -> WifiParams:
+        """The latency-model parameters."""
+        return self._params
+
+    def scan_duration_s(self) -> float:
+        """One full scan: passes x channels x dwell."""
+        passes = int(
+            self._rng.integers(self._params.scan_passes_min, self._params.scan_passes_max + 1)
+        )
+        return passes * self._params.channels * self._params.dwell_s
+
+    def association_duration_s(self) -> float:
+        """Auth + association + DHCP latency with lognormal jitter."""
+        if self._params.assoc_jitter_sigma == 0:
+            return self._params.assoc_latency_s
+        return float(
+            self._params.assoc_latency_s
+            * self._rng.lognormal(0.0, self._params.assoc_jitter_sigma)
+        )
+
+    def disconnect_detect_duration_s(self) -> float:
+        """Time until the radio declares the old AP lost."""
+        return self._params.disconnect_detect_s
+
+    def join_duration_s(self) -> float:
+        """Scan + association (the radio part of the handshake)."""
+        return self.scan_duration_s() + self.association_duration_s()

@@ -1,0 +1,28 @@
+"""Planning extensions — the paper's §IV "dynamic load-balancing".
+
+"Device mobility introduces unprecedented demand variability and leads
+to research problems such as dynamic load-balancing."  This package
+makes that research problem concrete:
+
+* :mod:`repro.planning.demand` — per-network demand estimation from the
+  ledger (what each grid-location will need to serve),
+* :mod:`repro.planning.loadbalance` — assignment of devices to
+  aggregators under slot-capacity constraints, minimising the maximum
+  utilisation, with a greedy-RSSI baseline for comparison.
+"""
+
+from repro.planning.demand import NetworkDemandEstimator
+from repro.planning.loadbalance import (
+    Assignment,
+    BalanceProblem,
+    balance_min_max_utilisation,
+    greedy_rssi_assignment,
+)
+
+__all__ = [
+    "NetworkDemandEstimator",
+    "Assignment",
+    "BalanceProblem",
+    "balance_min_max_utilisation",
+    "greedy_rssi_assignment",
+]

@@ -1,0 +1,54 @@
+"""Per-network demand estimation from the ledger.
+
+The common blockchain already holds every validated consumption record
+with its serving network; estimating near-future demand per
+grid-location is a windowed aggregation plus Holt smoothing (reusing the
+device-level predictor), giving the load balancer its inputs.
+"""
+
+from __future__ import annotations
+
+from repro.chain.ledger import Blockchain
+from repro.device.app.prediction import DemandPredictor
+from repro.errors import AnomalyError
+
+
+class NetworkDemandEstimator:
+    """Estimates each network's energy demand per interval.
+
+    Args:
+        chain: The common ledger.
+        interval_s: Aggregation interval for the demand series.
+    """
+
+    def __init__(self, chain: Blockchain, interval_s: float = 1.0) -> None:
+        if interval_s <= 0:
+            raise AnomalyError(f"interval must be positive, got {interval_s}")
+        self._chain = chain
+        self._interval_s = interval_s
+
+    def demand_series(self, network: str) -> list[float]:
+        """Energy (mWh) per interval served by ``network``, in order."""
+        buckets: dict[int, float] = {}
+        for block in self._chain:
+            for record in block.records:
+                if record.get("network") != network:
+                    continue
+                index = int(float(record["measured_at"]) // self._interval_s)
+                buckets[index] = buckets.get(index, 0.0) + float(record["energy_mwh"])
+        return [buckets[i] for i in sorted(buckets)]
+
+    def forecast(self, network: str, horizon_intervals: int = 1) -> float:
+        """Holt-smoothed demand forecast for ``network``."""
+        series = self.demand_series(network)
+        predictor = DemandPredictor()
+        for value in series:
+            predictor.observe(value)
+        return predictor.predict(horizon_intervals)
+
+    def forecast_all(self, networks: list[str], horizon_intervals: int = 1) -> dict[str, float]:
+        """Forecasts for every listed network."""
+        return {
+            network: self.forecast(network, horizon_intervals)
+            for network in networks
+        }

@@ -1,0 +1,147 @@
+"""Device-to-aggregator assignment under slot-capacity constraints.
+
+Each aggregator admits at most ``slot_count`` devices; each device can
+reach a subset of aggregators (RSSI above the association floor).  Two
+policies:
+
+* :func:`greedy_rssi_assignment` — what naive devices do: everyone
+  picks their strongest AP, first come first served.  Overloads popular
+  locations and strands late arrivals.
+* :func:`balance_min_max_utilisation` — the §IV answer: a feasible
+  assignment minimising the maximum slot utilisation, found by binary
+  search over a capacity cap with a max-flow feasibility check
+  (networkx), tie-broken toward stronger RSSI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BalanceProblem:
+    """One assignment instance.
+
+    Attributes:
+        capacities: Free slots per aggregator name.
+        reachable: Per device, the RSSI (dBm) of each aggregator it can
+            hear, e.g. ``{"dev1": {"agg1": -50.0, "agg2": -70.0}}``.
+    """
+
+    capacities: dict[str, int]
+    reachable: dict[str, dict[str, float]]
+
+    def __post_init__(self) -> None:
+        if not self.capacities:
+            raise ConfigError("at least one aggregator required")
+        for name, slots in self.capacities.items():
+            if slots < 0:
+                raise ConfigError(f"capacity of {name} must be >= 0, got {slots}")
+        for device, candidates in self.reachable.items():
+            if not candidates:
+                raise ConfigError(f"device {device} can reach no aggregator")
+            unknown = set(candidates) - set(self.capacities)
+            if unknown:
+                raise ConfigError(f"device {device} references unknown {unknown}")
+
+
+@dataclass
+class Assignment:
+    """A computed device-to-aggregator mapping."""
+
+    mapping: dict[str, str] = field(default_factory=dict)
+    unassigned: list[str] = field(default_factory=list)
+
+    def load(self, aggregator: str) -> int:
+        """Devices assigned to ``aggregator``."""
+        return sum(1 for target in self.mapping.values() if target == aggregator)
+
+    def utilisation(self, problem: BalanceProblem) -> dict[str, float]:
+        """Per-aggregator load over capacity (0 when capacity is 0)."""
+        result = {}
+        for name, capacity in problem.capacities.items():
+            result[name] = self.load(name) / capacity if capacity else 0.0
+        return result
+
+    def max_utilisation(self, problem: BalanceProblem) -> float:
+        """The balance objective."""
+        values = self.utilisation(problem).values()
+        return max(values) if values else 0.0
+
+
+def greedy_rssi_assignment(problem: BalanceProblem) -> Assignment:
+    """Everyone joins their strongest audible AP, in device-name order.
+
+    Devices whose best choices are full cascade to their next-best; a
+    device finding everything full ends up unassigned.
+    """
+    assignment = Assignment()
+    remaining = dict(problem.capacities)
+    for device in sorted(problem.reachable):
+        choices = sorted(
+            problem.reachable[device].items(), key=lambda kv: kv[1], reverse=True
+        )
+        for aggregator, _ in choices:
+            if remaining[aggregator] > 0:
+                assignment.mapping[device] = aggregator
+                remaining[aggregator] -= 1
+                break
+        else:
+            assignment.unassigned.append(device)
+    return assignment
+
+
+def _feasible(problem: BalanceProblem, caps: dict[str, int]) -> dict[str, str] | None:
+    """Max-flow feasibility: can every device be placed under ``caps``?"""
+    graph = nx.DiGraph()
+    source, sink = "__s__", "__t__"
+    for device, candidates in problem.reachable.items():
+        graph.add_edge(source, f"d:{device}", capacity=1)
+        for aggregator in candidates:
+            graph.add_edge(f"d:{device}", f"a:{aggregator}", capacity=1)
+    for aggregator, cap in caps.items():
+        graph.add_edge(f"a:{aggregator}", sink, capacity=cap)
+    flow_value, flow = nx.maximum_flow(graph, source, sink)
+    if flow_value < len(problem.reachable):
+        return None
+    mapping: dict[str, str] = {}
+    for device in problem.reachable:
+        for target, amount in flow[f"d:{device}"].items():
+            if amount > 0:
+                mapping[device] = target[2:]
+                break
+    return mapping
+
+
+def balance_min_max_utilisation(problem: BalanceProblem) -> Assignment:
+    """Assignment minimising the maximum slot utilisation.
+
+    Binary-searches the per-aggregator device cap; each candidate cap is
+    checked with a max-flow feasibility test.  Returns the mapping for
+    the smallest feasible cap; devices are never left unassigned unless
+    the instance is infeasible even at full capacity (then the greedy
+    fallback result, with its unassigned list, is returned).
+    """
+    full = {
+        name: problem.capacities[name] for name in problem.capacities
+    }
+    if _feasible(problem, full) is None:
+        return greedy_rssi_assignment(problem)
+
+    low, high = 1, max(full.values())
+    best_mapping: dict[str, str] | None = None
+    while low <= high:
+        mid = (low + high) // 2
+        caps = {name: min(cap, mid) for name, cap in full.items()}
+        mapping = _feasible(problem, caps)
+        if mapping is not None:
+            best_mapping = mapping
+            high = mid - 1
+        else:
+            low = mid + 1
+    assignment = Assignment(mapping=best_mapping or {})
+    return assignment

@@ -1,0 +1,53 @@
+"""The metering protocol of Fig. 3.
+
+Message vocabulary (:mod:`repro.protocol.messages`), wire codec
+(:mod:`repro.protocol.codec`) and the device-side state machine
+(:mod:`repro.protocol.device_fsm`).  The aggregator side lives in
+:mod:`repro.aggregator`, which composes membership, verification and
+ledger writing around these messages.
+
+Sequences implemented (numbering follows Fig. 3):
+
+1. **Membership registration** — broadcast request, master-address
+   response, periodic consumption reports each acknowledged.
+2. **Network transition** — report to the host aggregator is Nack'd,
+   device re-registers carrying its master address, the host verifies
+   with the home aggregator over the backhaul, grants a temporary
+   membership and forwards data home as a cost center.
+3. **Membership transfer / removal** — home network changes, the old
+   master is told to remove the device.
+"""
+
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.device_fsm import DeviceFsm, DevicePhase
+from repro.protocol.messages import (
+    Ack,
+    ConsumptionReport,
+    ForwardedConsumption,
+    MembershipVerifyRequest,
+    MembershipVerifyResponse,
+    Nack,
+    NackReason,
+    RegistrationRequest,
+    RegistrationResponse,
+    RemoveDevice,
+    TransferMembership,
+)
+
+__all__ = [
+    "decode_message",
+    "encode_message",
+    "DeviceFsm",
+    "DevicePhase",
+    "Ack",
+    "ConsumptionReport",
+    "ForwardedConsumption",
+    "MembershipVerifyRequest",
+    "MembershipVerifyResponse",
+    "Nack",
+    "NackReason",
+    "RegistrationRequest",
+    "RegistrationResponse",
+    "RemoveDevice",
+    "TransferMembership",
+]

@@ -1,0 +1,43 @@
+"""Wire codec for protocol messages.
+
+Messages travel over MQTT as UTF-8 JSON.  The codec is the single place
+that turns dataclasses into bytes and back; it also reports the encoded
+size, which the channel model uses for airtime.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import CodecError, ProtocolError
+from repro.protocol.messages import Message, message_from_dict
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialise a message dataclass to wire bytes."""
+    try:
+        return json.dumps(message.to_dict(), sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"cannot encode {type(message).__name__}: {exc}") from exc
+
+
+def decode_message(payload: bytes) -> Message:
+    """Parse wire bytes back into a message dataclass."""
+    try:
+        data: dict[str, Any] = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CodecError(f"malformed message payload: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CodecError(f"message payload must be an object, got {type(data).__name__}")
+    try:
+        return message_from_dict(data)
+    except CodecError:
+        raise
+    except (KeyError, ValueError, ProtocolError) as exc:
+        raise CodecError(f"message payload missing/invalid fields: {exc}") from exc
+
+
+def encoded_size(message: Message) -> int:
+    """Wire size in bytes (drives airtime in the channel model)."""
+    return len(encode_message(message))

@@ -1,0 +1,202 @@
+"""Device-side protocol state machine.
+
+A pure transition system (no timers, no I/O) so it can be exhaustively
+and property-tested; :class:`repro.device.stack.MeteringDevice` drives it
+from simulator events.  Phases track the device's life per Fig. 3:
+
+``UNREGISTERED`` → (join network) → ``REGISTERING`` → ``REPORTING``
+        ↑                                                   |
+        +--------------- leave network / removal -----------+
+
+While roaming, the same machine handles the Nack → temporary
+registration path: a report Nack'd with ``NOT_A_MEMBER`` moves the
+machine back to ``REGISTERING`` with the master address attached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.ids import DeviceId, NetworkAddress
+from repro.protocol.messages import (
+    Nack,
+    NackReason,
+    RegistrationRequest,
+    RegistrationResponse,
+)
+
+
+class DevicePhase(enum.Enum):
+    """Lifecycle phases of the device-side protocol."""
+
+    IN_TRANSIT = "in_transit"
+    JOINING = "joining"
+    REGISTERING = "registering"
+    REPORTING = "reporting"
+
+
+@dataclass(frozen=True)
+class FsmDecision:
+    """What the stack should do after feeding an input to the FSM.
+
+    Attributes:
+        send_registration: A registration request to transmit, or None.
+        resume_reporting: True when periodic reporting may (re)start.
+        flush_buffer: True when locally stored records should be sent.
+    """
+
+    send_registration: RegistrationRequest | None = None
+    resume_reporting: bool = False
+    flush_buffer: bool = False
+
+
+class DeviceFsm:
+    """Tracks membership state and decides protocol reactions.
+
+    Args:
+        device_id: The device this machine belongs to.
+    """
+
+    def __init__(self, device_id: DeviceId) -> None:
+        self._device_id = device_id
+        self._phase = DevicePhase.IN_TRANSIT
+        self._master: NetworkAddress | None = None
+        self._temporary: NetworkAddress | None = None
+
+    @property
+    def device_id(self) -> DeviceId:
+        """The owning device."""
+        return self._device_id
+
+    @property
+    def phase(self) -> DevicePhase:
+        """Current lifecycle phase."""
+        return self._phase
+
+    @property
+    def master(self) -> NetworkAddress | None:
+        """Home-network address, once registered."""
+        return self._master
+
+    @property
+    def temporary(self) -> NetworkAddress | None:
+        """Host-network address while roaming, else None."""
+        return self._temporary
+
+    @property
+    def is_roaming(self) -> bool:
+        """True when operating under a temporary membership."""
+        return self._temporary is not None
+
+    @property
+    def has_home(self) -> bool:
+        """True once the device ever registered with a home network."""
+        return self._master is not None
+
+    # -- inputs ---------------------------------------------------------
+
+    def network_joined(self) -> FsmDecision:
+        """Radio + broker connection established in some network.
+
+        A first-time device immediately registers (master=None); a
+        device with a home tries reporting first — per Fig. 3 it only
+        re-registers after the host Nacks it, so returning to the *home*
+        network needs no handshake.
+        """
+        if self._phase not in (DevicePhase.IN_TRANSIT, DevicePhase.JOINING):
+            raise ProtocolError(
+                f"network_joined in phase {self._phase.value}; must re-enter via network_left"
+            )
+        if self._master is None:
+            self._phase = DevicePhase.REGISTERING
+            return FsmDecision(
+                send_registration=RegistrationRequest(self._device_id, master=None)
+            )
+        # The device cannot tell home from foreign yet; it resumes live
+        # reporting and lets a Nack (foreign) or an Ack (home) decide.
+        # Buffered data flushes only once a report is accepted.
+        self._phase = DevicePhase.REPORTING
+        return FsmDecision(resume_reporting=True)
+
+    def network_left(self) -> None:
+        """Electrical/communication detach: back to transit, drop temp."""
+        self._phase = DevicePhase.IN_TRANSIT
+        self._temporary = None
+
+    def registration_response(self, response: RegistrationResponse) -> FsmDecision:
+        """Master/Temp address granted by an aggregator."""
+        if response.device_id != self._device_id:
+            raise ProtocolError(
+                f"response for {response.device_id} delivered to {self._device_id}"
+            )
+        if self._phase != DevicePhase.REGISTERING:
+            # Duplicate grant (an aggregator answering a re-sent request
+            # after the first answer already landed): idempotent no-op
+            # when it confirms what we already hold.
+            already_held = (
+                response.address == self._temporary
+                or (not response.temporary and response.address == self._master)
+            )
+            if self._phase == DevicePhase.REPORTING and already_held:
+                return FsmDecision()
+            raise ProtocolError(
+                f"unexpected registration response in phase {self._phase.value}"
+            )
+        if response.temporary:
+            if self._master is None:
+                raise ProtocolError("temporary membership granted before any home exists")
+            self._temporary = response.address
+        else:
+            self._master = response.address
+            self._temporary = None
+        self._phase = DevicePhase.REPORTING
+        return FsmDecision(resume_reporting=True, flush_buffer=True)
+
+    def report_nacked(self, nack: Nack) -> FsmDecision:
+        """A consumption report was refused.
+
+        ``NOT_A_MEMBER`` triggers the sequence-2 temporary registration,
+        carrying the master address.  Verification or anomaly Nacks keep
+        the machine reporting (the aggregator flagged the data, not the
+        membership).
+        """
+        if nack.device_id != self._device_id:
+            raise ProtocolError(f"nack for {nack.device_id} delivered to {self._device_id}")
+        if self._phase is not DevicePhase.REPORTING:
+            # Stale: a reply to a report sent before a removal or while a
+            # registration is already in flight.  Acting on it would
+            # re-register a device its master just deleted.
+            return FsmDecision()
+        if nack.reason == NackReason.NOT_A_MEMBER:
+            # With a home this is the sequence-2 roaming case; without
+            # one the membership truly vanished mid-flight — start over
+            # with a fresh NULL registration either way.
+            self._phase = DevicePhase.REGISTERING
+            return FsmDecision(
+                send_registration=RegistrationRequest(self._device_id, master=self._master)
+            )
+        return FsmDecision()
+
+    def membership_transferred(self, new_master: NetworkAddress) -> None:
+        """Sequence 3: home moved to a new master."""
+        self._master = new_master
+        self._temporary = None
+
+    def removed(self) -> None:
+        """Device was removed (loss/reset/transfer-of-ownership)."""
+        self._master = None
+        self._temporary = None
+        self._phase = DevicePhase.IN_TRANSIT
+
+    def begin_join(self) -> None:
+        """Radio started scanning/associating in a new network."""
+        if self._phase != DevicePhase.IN_TRANSIT:
+            raise ProtocolError(f"begin_join in phase {self._phase.value}")
+        self._phase = DevicePhase.JOINING
+
+    @property
+    def can_report(self) -> bool:
+        """True when periodic reports may be transmitted."""
+        return self._phase == DevicePhase.REPORTING

@@ -1,0 +1,417 @@
+"""Protocol message types (Fig. 3).
+
+Every message is a frozen dataclass with a ``to_dict`` JSON-compatible
+form; :mod:`repro.protocol.codec` maps between the dataclasses and wire
+dictionaries.  Field names mirror the figure's annotations: a
+registration request carries ``ID + Request registration (NULL | Master)``,
+a report carries ``ID + Addr(Master) + energy``, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.ids import AggregatorId, DeviceId, NetworkAddress, parse_address
+
+
+class NackReason(enum.Enum):
+    """Why an aggregator refused a report or registration."""
+
+    NOT_A_MEMBER = "not_a_member"
+    UNKNOWN_MASTER = "unknown_master"
+    VERIFICATION_FAILED = "verification_failed"
+    ANOMALOUS_REPORT = "anomalous_report"
+    NETWORK_FULL = "network_full"
+
+
+@dataclass(frozen=True)
+class RegistrationRequest:
+    """``ID + Request registration (NULL | Master)``.
+
+    ``master`` is None for a first-time (home) registration and carries
+    the home aggregator's address when requesting *temporary* membership
+    in a foreign network (sequence 2).
+    """
+
+    device_id: DeviceId
+    master: NetworkAddress | None = None
+
+    @property
+    def is_temporary(self) -> bool:
+        """True when this requests temporary (roaming) membership."""
+        return self.master is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "registration_request",
+            "device": self.device_id.name,
+            "master": str(self.master) if self.master else None,
+        }
+
+
+@dataclass(frozen=True)
+class RegistrationResponse:
+    """``Master Addr`` / ``Temp Addr`` — the granted network address."""
+
+    device_id: DeviceId
+    address: NetworkAddress
+    temporary: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "registration_response",
+            "device": self.device_id.name,
+            "address": str(self.address),
+            "temporary": self.temporary,
+        }
+
+
+@dataclass(frozen=True)
+class ConsumptionReport:
+    """``ID + Addr (Master [+ Temp]) + energy`` — one measurement.
+
+    Attributes:
+        device_id: Reporting device.
+        master: Home-network address (None only before first
+            registration).
+        temporary: Host-network address while roaming, else None.
+        sequence: Per-device monotone sequence number; lets the
+            aggregator spot replays and the device match Acks.
+        measured_at: Device-RTC timestamp of the measurement window end.
+        interval_s: Measurement window length.
+        current_ma: Sensor current reading over the window.
+        voltage_v: Device supply voltage used for energy computation.
+        energy_mwh: Energy of the window (current x voltage x interval).
+        buffered: True when this record was served from local storage
+            after a connectivity gap (Fig. 6's backfill).
+    """
+
+    device_id: DeviceId
+    master: NetworkAddress | None
+    temporary: NetworkAddress | None
+    sequence: int
+    measured_at: float
+    interval_s: float
+    current_ma: float
+    voltage_v: float
+    energy_mwh: float
+    buffered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ProtocolError(f"sequence must be >= 0, got {self.sequence}")
+        if self.interval_s <= 0:
+            raise ProtocolError(f"interval must be positive, got {self.interval_s}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "consumption_report",
+            "device": self.device_id.name,
+            "master": str(self.master) if self.master else None,
+            "temporary": str(self.temporary) if self.temporary else None,
+            "sequence": self.sequence,
+            "measured_at": self.measured_at,
+            "interval_s": self.interval_s,
+            "current_ma": self.current_ma,
+            "voltage_v": self.voltage_v,
+            "energy_mwh": self.energy_mwh,
+            "buffered": self.buffered,
+        }
+
+    def to_record(self) -> dict[str, Any]:
+        """Ledger-record form stored inside blocks."""
+        return {
+            "device": self.device_id.name,
+            "device_uid": self.device_id.uid,
+            "sequence": self.sequence,
+            "measured_at": self.measured_at,
+            "interval_s": self.interval_s,
+            "current_ma": self.current_ma,
+            "voltage_v": self.voltage_v,
+            "energy_mwh": self.energy_mwh,
+            "buffered": self.buffered,
+        }
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Positive acknowledgment of a report or registration step."""
+
+    device_id: DeviceId
+    sequence: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "ack",
+            "device": self.device_id.name,
+            "sequence": self.sequence,
+        }
+
+
+@dataclass(frozen=True)
+class Nack:
+    """Negative acknowledgment, e.g. report from a non-member (seq. 2)."""
+
+    device_id: DeviceId
+    reason: NackReason
+    sequence: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "nack",
+            "device": self.device_id.name,
+            "reason": self.reason.value,
+            "sequence": self.sequence,
+        }
+
+
+@dataclass(frozen=True)
+class MembershipVerifyRequest:
+    """Backhaul: host asks the claimed master to vouch for a device."""
+
+    device_id: DeviceId
+    claimed_master: AggregatorId
+    host: AggregatorId
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "membership_verify_request",
+            "device": self.device_id.name,
+            "claimed_master": self.claimed_master.name,
+            "host": self.host.name,
+        }
+
+
+@dataclass(frozen=True)
+class MembershipVerifyResponse:
+    """Backhaul: the master's verdict on a roaming device."""
+
+    device_id: DeviceId
+    master: AggregatorId
+    valid: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "membership_verify_response",
+            "device": self.device_id.name,
+            "master": self.master.name,
+            "valid": self.valid,
+        }
+
+
+@dataclass(frozen=True)
+class ForwardedConsumption:
+    """Backhaul: host forwards a roaming device's data home (cost center)."""
+
+    report: ConsumptionReport
+    host: AggregatorId
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "forwarded_consumption",
+            "report": self.report.to_dict(),
+            "host": self.host.name,
+        }
+
+
+@dataclass(frozen=True)
+class MgmtCommand:
+    """Remote-management command from the aggregator to a device.
+
+    ``command`` is a small verb vocabulary handled by the device's
+    :class:`~repro.device.app.remote_mgmt.RemoteManagement`:
+    ``"status"``, ``"ping"``, ``"set-interval"`` (with ``argument`` as
+    the new seconds value).
+    """
+
+    device_id: DeviceId
+    request_id: int
+    command: str
+    argument: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "mgmt_command",
+            "device": self.device_id.name,
+            "request_id": self.request_id,
+            "command": self.command,
+            "argument": self.argument,
+        }
+
+
+@dataclass(frozen=True)
+class MgmtResponse:
+    """The device's reply to a management command."""
+
+    device_id: DeviceId
+    request_id: int
+    ok: bool
+    payload: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "mgmt_response",
+            "device": self.device_id.name,
+            "request_id": self.request_id,
+            "ok": self.ok,
+            "payload": self.payload,
+        }
+
+
+@dataclass(frozen=True)
+class ReceiptRequest:
+    """Device asks its aggregator to prove a record is in the ledger.
+
+    Billing-dispute support: the answer carries a Merkle inclusion
+    receipt the owner can verify without trusting the aggregator.
+    """
+
+    device_id: DeviceId
+    sequence: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "receipt_request",
+            "device": self.device_id.name,
+            "sequence": self.sequence,
+        }
+
+
+@dataclass(frozen=True)
+class ReceiptResponse:
+    """The aggregator's answer: an inclusion receipt, or not-found.
+
+    ``receipt`` is the JSON form of
+    :class:`repro.chain.receipts.InclusionReceipt` (block coordinates,
+    record, proof path) when ``found`` is True.
+    """
+
+    device_id: DeviceId
+    sequence: int
+    found: bool
+    receipt: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "receipt_response",
+            "device": self.device_id.name,
+            "sequence": self.sequence,
+            "found": self.found,
+            "receipt": self.receipt,
+        }
+
+
+@dataclass(frozen=True)
+class TransferMembership:
+    """Sequence 3: move a device's home to a new master."""
+
+    device_id: DeviceId
+    new_master: NetworkAddress
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "transfer_membership",
+            "device": self.device_id.name,
+            "new_master": str(self.new_master),
+        }
+
+
+@dataclass(frozen=True)
+class RemoveDevice:
+    """Sequence 3: old master deletes a transferred/lost device."""
+
+    device_id: DeviceId
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "remove_device",
+            "device": self.device_id.name,
+        }
+
+
+Message = (
+    RegistrationRequest
+    | RegistrationResponse
+    | ConsumptionReport
+    | Ack
+    | Nack
+    | MembershipVerifyRequest
+    | MembershipVerifyResponse
+    | ForwardedConsumption
+    | MgmtCommand
+    | MgmtResponse
+    | ReceiptRequest
+    | ReceiptResponse
+    | TransferMembership
+    | RemoveDevice
+)
+
+
+def _opt_address(text: str | None) -> NetworkAddress | None:
+    return parse_address(text) if text else None
+
+
+def message_from_dict(data: dict[str, Any]) -> Message:
+    """Rebuild a message dataclass from its ``to_dict`` form."""
+    kind = data.get("type")
+    device = DeviceId(data["device"]) if "device" in data else None
+    if kind == "registration_request":
+        return RegistrationRequest(device, _opt_address(data.get("master")))
+    if kind == "registration_response":
+        return RegistrationResponse(
+            device, parse_address(data["address"]), bool(data.get("temporary", False))
+        )
+    if kind == "consumption_report":
+        return ConsumptionReport(
+            device_id=device,
+            master=_opt_address(data.get("master")),
+            temporary=_opt_address(data.get("temporary")),
+            sequence=int(data["sequence"]),
+            measured_at=float(data["measured_at"]),
+            interval_s=float(data["interval_s"]),
+            current_ma=float(data["current_ma"]),
+            voltage_v=float(data["voltage_v"]),
+            energy_mwh=float(data["energy_mwh"]),
+            buffered=bool(data.get("buffered", False)),
+        )
+    if kind == "ack":
+        return Ack(device, data.get("sequence"))
+    if kind == "nack":
+        return Nack(device, NackReason(data["reason"]), data.get("sequence"))
+    if kind == "membership_verify_request":
+        return MembershipVerifyRequest(
+            device, AggregatorId(data["claimed_master"]), AggregatorId(data["host"])
+        )
+    if kind == "membership_verify_response":
+        return MembershipVerifyResponse(
+            device, AggregatorId(data["master"]), bool(data["valid"])
+        )
+    if kind == "forwarded_consumption":
+        report = message_from_dict(data["report"])
+        if not isinstance(report, ConsumptionReport):
+            raise ProtocolError("forwarded_consumption must wrap a consumption_report")
+        return ForwardedConsumption(report, AggregatorId(data["host"]))
+    if kind == "mgmt_command":
+        argument = data.get("argument")
+        return MgmtCommand(
+            device, int(data["request_id"]), str(data["command"]),
+            float(argument) if argument is not None else None,
+        )
+    if kind == "mgmt_response":
+        return MgmtResponse(
+            device, int(data["request_id"]), bool(data["ok"]), dict(data["payload"])
+        )
+    if kind == "receipt_request":
+        return ReceiptRequest(device, int(data["sequence"]))
+    if kind == "receipt_response":
+        return ReceiptResponse(
+            device, int(data["sequence"]), bool(data["found"]), data.get("receipt")
+        )
+    if kind == "transfer_membership":
+        return TransferMembership(device, parse_address(data["new_master"]))
+    if kind == "remove_device":
+        return RemoveDevice(device)
+    raise ProtocolError(f"unknown message type {kind!r}")

@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+The kernel is the substrate every other subsystem runs on.  It provides:
+
+* :class:`~repro.sim.clock.SimClock` — the single source of simulated time,
+* :class:`~repro.sim.events.Event` / :class:`~repro.sim.events.EventQueue`
+  — a deterministic priority queue of timestamped callbacks,
+* :class:`~repro.sim.kernel.Simulator` — the run loop with scheduling,
+  periodic tasks and stop conditions,
+* :class:`~repro.sim.process.Process` — a base class for simulated actors
+  (devices, aggregators, brokers),
+* :class:`~repro.sim.rng.RngStreams` — named, independently seeded random
+  streams so adding randomness to one component never perturbs another,
+* :class:`~repro.sim.tracing.TraceRecorder` — structured event tracing.
+
+Determinism contract: two runs with the same scenario and the same seed
+produce byte-identical traces and ledgers.  Ties in the event queue are
+broken by insertion order.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "RngStreams",
+    "TraceRecord",
+    "TraceRecorder",
+]

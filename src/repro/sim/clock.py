@@ -1,0 +1,40 @@
+"""Simulated wall clock.
+
+There is exactly one :class:`SimClock` per :class:`~repro.sim.kernel.Simulator`.
+Only the kernel advances it; every other component holds a read-only
+reference.  Time is a float number of seconds since simulation start.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated clock owned by the kernel."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        The kernel calls this when it pops the next event.  Moving
+        backwards is a kernel bug and raises immediately rather than
+        silently corrupting causality.
+        """
+        if timestamp < self._now:
+            raise SimulationError(
+                f"clock moved backwards: {self._now} -> {timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

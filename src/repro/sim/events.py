@@ -1,0 +1,102 @@
+"""Timestamped events and the deterministic event queue.
+
+Events order by ``(time, priority, sequence)``.  ``sequence`` is a global
+insertion counter, so events scheduled for the same instant at the same
+priority fire in the order they were scheduled — this is what makes runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the callback fires.
+        priority: Lower fires first among same-time events.
+        sequence: Insertion order tiebreaker (assigned by the queue).
+        callback: Zero-argument callable invoked by the kernel.
+        label: Human-readable tag for traces and debugging.
+        cancelled: Cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it.
+
+        Cancellation is O(1); the entry stays in the heap until popped.
+        """
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` and return its handle."""
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is empty.
+
+        Skips over cancelled events lazily so the answer is always the
+        time of an event that will actually run.
+        """
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()

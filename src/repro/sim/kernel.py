@@ -1,0 +1,219 @@
+"""The simulation run loop.
+
+:class:`Simulator` ties together the clock, the event queue, the random
+streams and the trace recorder.  Components schedule work with
+:meth:`Simulator.schedule` (absolute) / :meth:`Simulator.call_later`
+(relative) / :meth:`Simulator.every` (periodic), and the experiment
+harness drives the loop with :meth:`Simulator.run_until` or
+:meth:`Simulator.run`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import TraceRecorder
+
+
+class PeriodicTask:
+    """Handle for a repeating callback created by :meth:`Simulator.every`."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        interval: float,
+        callback: Callable[[], Any],
+        label: str,
+        priority: int,
+    ) -> None:
+        self._sim = simulator
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._priority = priority
+        self._event: Event | None = None
+        self._stopped = False
+
+    @property
+    def interval(self) -> float:
+        """Seconds between firings."""
+        return self._interval
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called."""
+        return self._stopped
+
+    def start(self, first_at: float) -> None:
+        """Arm the task; first firing at absolute time ``first_at``."""
+        if self._stopped:
+            raise SchedulingError("cannot start a stopped periodic task")
+        self._event = self._sim.schedule(
+            first_at, self._fire, priority=self._priority, label=self._label
+        )
+
+    def stop(self) -> None:
+        """Cancel future firings.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def reschedule(self, interval: float) -> None:
+        """Change the firing interval, effective from the next firing."""
+        if interval <= 0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        self._interval = interval
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._event = self._sim.call_later(
+                self._interval, self._fire, priority=self._priority, label=self._label
+            )
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: Master seed for all random streams.
+        trace: Whether to capture trace records.
+        trace_categories: Optional whitelist of trace categories.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: bool = True,
+        trace_categories: list[str] | None = None,
+    ) -> None:
+        self.clock = SimClock()
+        self.queue = EventQueue()
+        self.rng = RngStreams(seed)
+        self.trace = TraceRecorder(enabled=trace, categories=trace_categories)
+        self._running = False
+        self._events_executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    @property
+    def events_executed(self) -> int:
+        """Total events the loop has executed so far."""
+        return self._events_executed
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(
+        self,
+        at: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``at``."""
+        if math.isnan(at) or math.isinf(at):
+            raise SchedulingError(f"event time must be finite, got {at}")
+        if at < self.clock.now:
+            raise SchedulingError(
+                f"cannot schedule at {at} before current time {self.clock.now}"
+            )
+        return self.queue.push(at, callback, priority=priority, label=label)
+
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at ``now + delay``."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.clock.now + delay, callback, priority=priority, label=label)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], Any],
+        first_at: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> PeriodicTask:
+        """Create and start a periodic task firing every ``interval`` seconds.
+
+        The first firing defaults to ``now + interval``.
+        """
+        if interval <= 0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        task = PeriodicTask(self, interval, callback, label, priority)
+        task.start(self.clock.now + interval if first_at is None else first_at)
+        return task
+
+    # -- run loop ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False when queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._events_executed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: float, max_events: int | None = None) -> None:
+        """Run events with time <= ``end_time``; clock lands on ``end_time``.
+
+        ``max_events`` guards against runaway zero-delay loops.
+        """
+        if end_time < self.clock.now:
+            raise SimulationError(
+                f"end_time {end_time} is before current time {self.clock.now}"
+            )
+        if self._running:
+            raise SimulationError("run loop re-entered; simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while True:
+                next_time = self.queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"run_until exceeded max_events={max_events}; "
+                        "suspected runaway event loop"
+                    )
+            self.clock.advance_to(end_time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the queue drains (bounded by ``max_events``)."""
+        if self._running:
+            raise SimulationError("run loop re-entered; simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self.step():
+                executed += 1
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"run exceeded max_events={max_events}; "
+                        "suspected runaway event loop"
+                    )
+        finally:
+            self._running = False

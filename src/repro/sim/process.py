@@ -1,0 +1,48 @@
+"""Base class for simulated actors.
+
+A :class:`Process` is anything with a name that lives on a simulator:
+devices, aggregators, brokers, channels.  It standardises access to the
+clock, per-actor random streams and tracing so subclasses stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+
+
+class Process:
+    """A named actor bound to a :class:`~repro.sim.kernel.Simulator`."""
+
+    def __init__(self, simulator: Simulator, name: str) -> None:
+        self._sim = simulator
+        self._name = name
+
+    @property
+    def sim(self) -> Simulator:
+        """The simulator this process runs on."""
+        return self._sim
+
+    @property
+    def name(self) -> str:
+        """Human-readable actor name (used in traces)."""
+        return self._name
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._sim.now
+
+    def rng(self, purpose: str = "default") -> np.random.Generator:
+        """Random stream private to this actor and ``purpose``."""
+        return self._sim.rng.stream(f"{self._name}:{purpose}")
+
+    def trace(self, category: str, **detail: Any) -> None:
+        """Emit a trace record attributed to this actor."""
+        self._sim.trace.record(self.now, category, self._name, **detail)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self._name!r})"

@@ -1,0 +1,113 @@
+"""Structured trace recording for simulations.
+
+Traces serve two purposes: debugging (what happened, in order) and
+verification in tests (assert a handshake emitted the expected message
+sequence).  Records are cheap frozen dataclasses; recording can be
+disabled wholesale, or filtered by category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        time: Simulated time of the event.
+        category: Dotted subsystem tag, e.g. ``"protocol.report"``.
+        actor: Name of the component that emitted the record.
+        detail: Free-form structured payload (kept small).
+    """
+
+    time: float
+    category: str
+    actor: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Appends :class:`TraceRecord` entries and answers queries over them."""
+
+    def __init__(self, enabled: bool = True, categories: Iterable[str] | None = None) -> None:
+        self._enabled = enabled
+        self._categories = set(categories) if categories is not None else None
+        self._records: list[TraceRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether records are currently being captured."""
+        return self._enabled
+
+    def record(self, time: float, category: str, actor: str, **detail: Any) -> None:
+        """Capture one record if tracing is on and the category is kept."""
+        if not self._enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        self._records.append(TraceRecord(time, category, actor, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records with exactly this category, in time order."""
+        return [r for r in self._records if r.category == category]
+
+    def by_actor(self, actor: str) -> list[TraceRecord]:
+        """All records emitted by ``actor``, in time order."""
+        return [r for r in self._records if r.actor == actor]
+
+    def between(self, start: float, end: float) -> list[TraceRecord]:
+        """Records with ``start <= time < end``."""
+        return [r for r in self._records if start <= r.time < end]
+
+    def first(self, category: str) -> TraceRecord | None:
+        """Earliest record of ``category``, or None."""
+        for record in self._records:
+            if record.category == category:
+                return record
+        return None
+
+    def last(self, category: str) -> TraceRecord | None:
+        """Latest record of ``category``, or None."""
+        for record in reversed(self._records):
+            if record.category == category:
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all captured records."""
+        self._records.clear()
+
+    def to_jsonl(self) -> str:
+        """Serialise every record as JSON lines (one record per line)."""
+        import json
+
+        lines = [
+            json.dumps(
+                {
+                    "time": record.time,
+                    "category": record.category,
+                    "actor": record.actor,
+                    "detail": record.detail,
+                },
+                sort_keys=True,
+                default=str,
+            )
+            for record in self._records
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def save_jsonl(self, path) -> int:
+        """Write the trace to ``path``; returns the record count."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_jsonl())
+        return len(self._records)

@@ -1,0 +1,39 @@
+"""Workloads: consumption profiles, mobility traces, ready scenarios.
+
+* :mod:`repro.workloads.profiles` — deterministic load-current functions
+  (duty-cycled ESP32 tasks, the e-scooter CC/CV charge curve, stochastic
+  appliances, composites),
+* :mod:`repro.workloads.mobility` — timed enter/leave traces and the
+  driver that schedules them on a simulator,
+* :mod:`repro.workloads.scenarios` — builders, including the paper's
+  exact testbed (2 networks x 2 devices) and a scalable variant.
+"""
+
+from repro.workloads.mobility import MobilityDriver, MobilityEvent, MobilityTrace
+from repro.workloads.profiles import (
+    ApplianceProfile,
+    CompositeProfile,
+    ConstantProfile,
+    DutyCycleProfile,
+    EscooterChargeProfile,
+    SinusoidProfile,
+)
+from repro.workloads.scenarios import Scenario, build_paper_testbed, build_scaled_scenario
+from repro.workloads.traces import MarkovApplianceModel, TraceProfile
+
+__all__ = [
+    "MobilityDriver",
+    "MobilityEvent",
+    "MobilityTrace",
+    "ApplianceProfile",
+    "CompositeProfile",
+    "ConstantProfile",
+    "DutyCycleProfile",
+    "EscooterChargeProfile",
+    "SinusoidProfile",
+    "Scenario",
+    "build_paper_testbed",
+    "build_scaled_scenario",
+    "MarkovApplianceModel",
+    "TraceProfile",
+]

@@ -1,0 +1,120 @@
+"""Mobility traces.
+
+A :class:`MobilityTrace` is the timed itinerary of one device — enter
+this network at t0, leave at t1, enter that one at t2 — and the
+:class:`MobilityDriver` schedules it on the simulator.  The gap between
+a leave and the next enter is the paper's *Idle time* (in transit, no
+grid connection, no consumption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aggregator.unit import AggregatorUnit
+from repro.device.stack import MeteringDevice
+from repro.errors import ConfigError
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class MobilityEvent:
+    """One itinerary entry.
+
+    Attributes:
+        at_time: When the event fires.
+        action: ``"enter"`` or ``"leave"``.
+        network: Target aggregator name for ``enter`` (ignored on leave).
+        distance_m: Radio distance to the AP on entry.
+    """
+
+    at_time: float
+    action: str
+    network: str | None = None
+    distance_m: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("enter", "leave"):
+            raise ConfigError(f"action must be enter/leave, got {self.action!r}")
+        if self.action == "enter" and not self.network:
+            raise ConfigError("enter events need a target network")
+        if self.at_time < 0:
+            raise ConfigError(f"event time must be >= 0, got {self.at_time}")
+
+
+class MobilityTrace:
+    """Ordered itinerary with alternating-action validation."""
+
+    def __init__(self, events: list[MobilityEvent]) -> None:
+        ordered = sorted(events, key=lambda e: e.at_time)
+        expecting = "enter"
+        for event in ordered:
+            if event.action != expecting:
+                raise ConfigError(
+                    f"itinerary must alternate enter/leave; got {event.action!r} "
+                    f"at t={event.at_time} while expecting {expecting!r}"
+                )
+            expecting = "leave" if expecting == "enter" else "enter"
+        self._events = ordered
+
+    @property
+    def events(self) -> list[MobilityEvent]:
+        """The validated, time-ordered events."""
+        return list(self._events)
+
+    @staticmethod
+    def single_move(
+        home: str,
+        destination: str,
+        enter_home_at: float = 0.0,
+        leave_home_at: float = 60.0,
+        idle_s: float = 10.0,
+        distance_m: float = 5.0,
+    ) -> "MobilityTrace":
+        """The paper's Fig. 6 itinerary: home, transit, foreign network."""
+        return MobilityTrace(
+            [
+                MobilityEvent(enter_home_at, "enter", home, distance_m),
+                MobilityEvent(leave_home_at, "leave"),
+                MobilityEvent(leave_home_at + idle_s, "enter", destination, distance_m),
+            ]
+        )
+
+
+class MobilityDriver:
+    """Schedules a trace's events against a device and aggregators.
+
+    Args:
+        simulator: The kernel.
+        device: The moving device.
+        aggregators: Name-to-unit map used to resolve enter targets.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        device: MeteringDevice,
+        aggregators: dict[str, AggregatorUnit],
+    ) -> None:
+        self._sim = simulator
+        self._device = device
+        self._aggregators = dict(aggregators)
+
+    def schedule(self, trace: MobilityTrace) -> None:
+        """Arm every event of ``trace`` on the simulator."""
+        for event in trace.events:
+            if event.action == "enter":
+                unit = self._aggregators.get(event.network)
+                if unit is None:
+                    raise ConfigError(f"unknown network {event.network!r}")
+                self._sim.schedule(
+                    event.at_time,
+                    lambda u=unit, d=event.distance_m: self._device.enter_network(u, d),
+                    label=f"{self._device.name}:enter:{event.network}",
+                )
+            else:
+                self._sim.schedule(
+                    event.at_time,
+                    self._device.leave_network,
+                    label=f"{self._device.name}:leave",
+                )

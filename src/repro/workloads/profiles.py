@@ -1,0 +1,203 @@
+"""Load-current profiles.
+
+A profile is a deterministic callable ``t -> mA`` giving the grid-side
+load current of a device's *function* (the MCU's own draw is added by
+the device stack).  Determinism in *time* matters: the grid, the device
+sensor and any evaluation code may all sample the same instant and must
+see the same truth.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.hw.battery import Battery, CcCvCharger
+
+
+class ConstantProfile:
+    """A fixed load current."""
+
+    def __init__(self, current_ma: float) -> None:
+        if current_ma < 0:
+            raise ConfigError(f"current must be >= 0, got {current_ma}")
+        self._current_ma = current_ma
+
+    def __call__(self, at_time: float) -> float:
+        return self._current_ma
+
+
+class DutyCycleProfile:
+    """Square-wave load: ``high_ma`` for a fraction of each period.
+
+    Models the duty-cycled sensing/compute tasks the testbed's ESP32
+    devices run.  A phase offset decorrelates multiple devices.
+    """
+
+    def __init__(
+        self,
+        high_ma: float,
+        low_ma: float = 0.0,
+        period_s: float = 2.0,
+        duty: float = 0.5,
+        phase_s: float = 0.0,
+    ) -> None:
+        if high_ma < low_ma:
+            raise ConfigError(f"high {high_ma} must be >= low {low_ma}")
+        if low_ma < 0:
+            raise ConfigError(f"low current must be >= 0, got {low_ma}")
+        if period_s <= 0:
+            raise ConfigError(f"period must be positive, got {period_s}")
+        if not 0.0 <= duty <= 1.0:
+            raise ConfigError(f"duty must be in [0, 1], got {duty}")
+        self._high_ma = high_ma
+        self._low_ma = low_ma
+        self._period_s = period_s
+        self._duty = duty
+        self._phase_s = phase_s
+
+    def __call__(self, at_time: float) -> float:
+        offset = (at_time + self._phase_s) % self._period_s
+        if offset < self._duty * self._period_s:
+            return self._high_ma
+        return self._low_ma
+
+
+class SinusoidProfile:
+    """Slow sinusoidal load around a mean (thermal-style variation)."""
+
+    def __init__(
+        self,
+        mean_ma: float,
+        amplitude_ma: float,
+        period_s: float = 60.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        if mean_ma < amplitude_ma:
+            raise ConfigError(
+                f"mean {mean_ma} must be >= amplitude {amplitude_ma} to stay non-negative"
+            )
+        if period_s <= 0:
+            raise ConfigError(f"period must be positive, got {period_s}")
+        self._mean_ma = mean_ma
+        self._amplitude_ma = amplitude_ma
+        self._period_s = period_s
+        self._phase_s = phase_s
+
+    def __call__(self, at_time: float) -> float:
+        angle = 2.0 * math.pi * (at_time + self._phase_s) / self._period_s
+        return self._mean_ma + self._amplitude_ma * math.sin(angle)
+
+
+class EscooterChargeProfile:
+    """The e-scooter's grid-side charge current over time.
+
+    Pre-integrates a :class:`~repro.hw.battery.CcCvCharger` against a
+    :class:`~repro.hw.battery.Battery` on a fine grid at construction,
+    then answers point queries by interpolation — deterministic and
+    O(log n) per call.
+
+    Args:
+        capacity_mah: Battery capacity.
+        initial_soc: State of charge when charging starts.
+        cc_current_ma: Bulk charge current.
+        start_s: When charging begins (profile is 0 before).
+        dt_s: Integration step of the precomputed curve.
+        max_duration_s: Horizon of the precomputed curve.
+    """
+
+    def __init__(
+        self,
+        capacity_mah: float = 50.0,
+        initial_soc: float = 0.1,
+        cc_current_ma: float = 150.0,
+        start_s: float = 0.0,
+        dt_s: float = 1.0,
+        max_duration_s: float = 7200.0,
+    ) -> None:
+        if dt_s <= 0:
+            raise ConfigError(f"dt must be positive, got {dt_s}")
+        if max_duration_s <= 0:
+            raise ConfigError(f"duration must be positive, got {max_duration_s}")
+        self._start_s = start_s
+        battery = Battery(capacity_mah, initial_soc)
+        charger = CcCvCharger(cc_current_ma)
+        steps = int(max_duration_s / dt_s) + 1
+        times = np.arange(steps, dtype=float) * dt_s
+        currents = np.empty(steps, dtype=float)
+        for i in range(steps):
+            currents[i] = charger.charge_current_ma(battery.soc)
+            charger.step(battery, dt_s)
+        self._times = times
+        self._currents = currents
+
+    def __call__(self, at_time: float) -> float:
+        elapsed = at_time - self._start_s
+        if elapsed < 0:
+            return 0.0
+        if elapsed >= self._times[-1]:
+            return float(self._currents[-1])
+        return float(np.interp(elapsed, self._times, self._currents))
+
+
+class ApplianceProfile:
+    """Stochastic on/off appliance with a pre-drawn schedule.
+
+    The on/off switching times are drawn once at construction from a
+    seeded generator, producing a deterministic piecewise-constant
+    function of time — randomness in the *profile*, not in the *query*.
+
+    Args:
+        rng: Seeded generator for the schedule draw.
+        on_ma: Current while on.
+        mean_on_s / mean_off_s: Exponential dwell means.
+        horizon_s: Schedule length (constant ``off`` beyond it).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        on_ma: float = 80.0,
+        mean_on_s: float = 20.0,
+        mean_off_s: float = 40.0,
+        horizon_s: float = 3600.0,
+    ) -> None:
+        if on_ma < 0:
+            raise ConfigError(f"on current must be >= 0, got {on_ma}")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ConfigError("dwell means must be positive")
+        if horizon_s <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon_s}")
+        self._on_ma = on_ma
+        edges = [0.0]
+        is_on = [False]
+        t = 0.0
+        on = False
+        while t < horizon_s:
+            dwell = float(rng.exponential(mean_on_s if on else mean_off_s))
+            t += max(dwell, 1e-3)
+            on = not on
+            edges.append(t)
+            is_on.append(on)
+        self._edges = np.asarray(edges)
+        self._is_on = is_on
+
+    def __call__(self, at_time: float) -> float:
+        if at_time < 0 or at_time >= self._edges[-1]:
+            return 0.0
+        index = int(np.searchsorted(self._edges, at_time, side="right") - 1)
+        return self._on_ma if self._is_on[index] else 0.0
+
+
+class CompositeProfile:
+    """Sum of component profiles (e.g. base load + appliance)."""
+
+    def __init__(self, *components) -> None:
+        if not components:
+            raise ConfigError("composite needs at least one component")
+        self._components = components
+
+    def __call__(self, at_time: float) -> float:
+        return sum(component(at_time) for component in self._components)

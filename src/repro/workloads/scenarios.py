@@ -1,0 +1,310 @@
+"""Scenario builders.
+
+:func:`build_paper_testbed` reconstructs the paper's experimental setup
+(§III-A): two networks, each with one aggregator and two devices,
+reporting every 100 ms, aggregators joined by a ~1 ms backhaul.
+:func:`build_scaled_scenario` generalises to N networks x M devices for
+the scalability experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
+from repro.chain.ledger import Blockchain
+from repro.device.stack import DeviceConfig, LoadProfile, MeteringDevice
+from repro.errors import ConfigError
+from repro.grid.topology import GridNetwork, GridTopology
+from repro.hw.powerline import WireSegment
+from repro.ids import AggregatorId, DeviceId
+from repro.net.backhaul import BackhaulLink, BackhaulMesh
+from repro.net.channel import ChannelParams, WirelessChannel
+from repro.sim.kernel import Simulator
+from repro.workloads.mobility import MobilityDriver, MobilityTrace
+from repro.workloads.profiles import DutyCycleProfile, SinusoidProfile
+
+
+@dataclass
+class Scenario:
+    """A fully wired simulation world.
+
+    Attributes map one-to-one onto the architecture of Fig. 1; the
+    experiment harnesses only ever talk to a Scenario.
+    """
+
+    simulator: Simulator
+    grid: GridTopology
+    chain: Blockchain
+    mesh: BackhaulMesh
+    channel: WirelessChannel
+    aggregators: dict[str, AggregatorUnit] = field(default_factory=dict)
+    devices: dict[str, MeteringDevice] = field(default_factory=dict)
+
+    def aggregator(self, name: str) -> AggregatorUnit:
+        """Aggregator by name, with a helpful error."""
+        unit = self.aggregators.get(name)
+        if unit is None:
+            raise ConfigError(f"no aggregator named {name!r} (have {list(self.aggregators)})")
+        return unit
+
+    def device(self, name: str) -> MeteringDevice:
+        """Device by name, with a helpful error."""
+        dev = self.devices.get(name)
+        if dev is None:
+            raise ConfigError(f"no device named {name!r} (have {list(self.devices)})")
+        return dev
+
+    def schedule_mobility(self, device_name: str, trace: MobilityTrace) -> None:
+        """Arm a mobility itinerary for one device."""
+        driver = MobilityDriver(self.simulator, self.device(device_name), self.aggregators)
+        driver.schedule(trace)
+
+    def enter_at(self, device_name: str, network: str, at_time: float, distance_m: float = 5.0) -> None:
+        """Schedule a single network entry."""
+        device = self.device(device_name)
+        unit = self.aggregator(network)
+        self.simulator.schedule(
+            at_time,
+            lambda: device.enter_network(unit, distance_m),
+            label=f"{device_name}:enter:{network}",
+        )
+
+    def run_until(self, end_time: float) -> None:
+        """Advance the world to ``end_time``."""
+        self.simulator.run_until(end_time)
+
+    def summary(self) -> dict:
+        """Quick run snapshot: ledger, per-device and per-network counters."""
+        return {
+            "time": self.simulator.now,
+            "chain_height": self.chain.height,
+            "total_energy_mwh": self.chain.total_energy_mwh(),
+            "devices": {
+                name: {
+                    "phase": device.fsm.phase.value,
+                    "reports_sent": device.reports_sent,
+                    "acked": device.acked_count,
+                    "buffered_pending": device.store.pending,
+                    "energy_mwh": device.meter.total_energy_mwh,
+                }
+                for name, device in self.devices.items()
+            },
+            "aggregators": {
+                name: {
+                    "members": unit.registry.member_count,
+                    "acks": unit.acks_sent,
+                    "nacks": unit.nacks_sent,
+                    "blocks": unit.writer.blocks_written,
+                    "network_anomalies": unit.verifier.stats.network_anomalies,
+                }
+                for name, unit in self.aggregators.items()
+            },
+        }
+
+    def export_monitoring(self, directory) -> list:
+        """Write every aggregator's recorded series as CSV files.
+
+        Returns the written paths; files are named
+        ``<aggregator>__<series>.csv``.
+        """
+        from pathlib import Path
+
+        from repro.monitoring.export import series_to_csv
+
+        target = Path(directory)
+        target.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name, unit in self.aggregators.items():
+            for series_name in unit.monitoring.names:
+                safe = series_name.replace("/", "_").replace(":", "_")
+                path = target / f"{name}__{safe}.csv"
+                path.write_text(series_to_csv(unit.monitoring[series_name]))
+                written.append(path)
+        return written
+
+
+def _add_network(
+    scenario: Scenario,
+    name: str,
+    aggregator_config: AggregatorConfig,
+    supply_voltage_v: float,
+    segment: WireSegment,
+) -> AggregatorUnit:
+    aggregator_id = AggregatorId(name)
+    network = GridNetwork(
+        aggregator_id,
+        supply_voltage_v=supply_voltage_v,
+        default_segment=segment,
+    )
+    scenario.grid.add_network(network)
+    unit = AggregatorUnit(
+        scenario.simulator,
+        aggregator_id,
+        scenario.chain,
+        scenario.mesh,
+        network,
+        aggregator_config,
+    )
+    scenario.aggregators[name] = unit
+    unit.start()
+    return unit
+
+
+def _add_device(
+    scenario: Scenario,
+    name: str,
+    profile: LoadProfile,
+    device_config: DeviceConfig,
+) -> MeteringDevice:
+    device = MeteringDevice(
+        scenario.simulator,
+        DeviceId(name),
+        device_config,
+        scenario.grid,
+        scenario.channel,
+        profile,
+    )
+    scenario.devices[name] = device
+    return device
+
+
+def build_paper_testbed(
+    seed: int = 0,
+    t_measure_s: float = 0.1,
+    enter_devices: bool = True,
+    device_config: DeviceConfig | None = None,
+    aggregator_config: AggregatorConfig | None = None,
+    segment: WireSegment | None = None,
+) -> Scenario:
+    """The paper's testbed: 2 networks ("agg1", "agg2") x 2 devices each.
+
+    Devices ``device1``/``device2`` start in network agg1 and
+    ``device3``/``device4`` in agg2, with duty-cycled load profiles that
+    span a wide dynamic range (that range is what spreads the Fig. 5
+    per-interval gap over ~1-8 %).
+
+    Args:
+        seed: Master seed for every random stream.
+        t_measure_s: Reporting interval (paper: 0.1 s).
+        enter_devices: Schedule all four devices to enter their home
+            networks at t=0 (disable for custom itineraries).
+        device_config / aggregator_config / segment: Overrides.
+    """
+    simulator = Simulator(seed=seed)
+    scenario = Scenario(
+        simulator=simulator,
+        grid=GridTopology(),
+        chain=Blockchain(authorized=set()),
+        mesh=BackhaulMesh(simulator),
+        channel=WirelessChannel(ChannelParams(), simulator.rng.stream("channel")),
+    )
+    agg_config = aggregator_config or AggregatorConfig(t_measure_s=t_measure_s)
+    dev_config = device_config or DeviceConfig(t_measure_s=t_measure_s)
+    # Wiring losses sized so the per-interval feeder overhead spans the
+    # paper's observed 0.9-8.2 % across low/high load phases: constant
+    # leakage dominates at light load (large relative gap), I2R adds
+    # little even at heavy load (small relative gap).
+    wire = segment or WireSegment(resistance_ohms=0.1, leakage_ma=2.5)
+
+    _add_network(scenario, "agg1", agg_config, 5.0, wire)
+    _add_network(scenario, "agg2", agg_config, 5.0, wire)
+    scenario.mesh.connect(
+        BackhaulLink(AggregatorId("agg1"), AggregatorId("agg2"), latency_s=0.001)
+    )
+
+    # Smooth wide-range profiles: the network load sweeps from tens of mA
+    # to hundreds across intervals, which is what spreads the Fig. 5 gap.
+    profiles: dict[str, LoadProfile] = {
+        "device1": SinusoidProfile(mean_ma=120.0, amplitude_ma=100.0, period_s=13.0),
+        "device2": SinusoidProfile(
+            mean_ma=60.0, amplitude_ma=45.0, period_s=17.0, phase_s=5.0
+        ),
+        "device3": SinusoidProfile(
+            mean_ma=90.0, amplitude_ma=70.0, period_s=11.0, phase_s=2.0
+        ),
+        "device4": SinusoidProfile(
+            mean_ma=70.0, amplitude_ma=55.0, period_s=19.0, phase_s=7.0
+        ),
+    }
+    homes = {"device1": "agg1", "device2": "agg1", "device3": "agg2", "device4": "agg2"}
+    for name, profile in profiles.items():
+        _add_device(scenario, name, profile, dev_config)
+        if enter_devices:
+            scenario.enter_at(name, homes[name], 0.0)
+    return scenario
+
+
+def build_scaled_scenario(
+    n_networks: int,
+    devices_per_network: int,
+    seed: int = 0,
+    t_measure_s: float = 0.1,
+    slot_count: int | None = None,
+    enter_devices: bool = True,
+    mesh_topology: str = "full",
+) -> Scenario:
+    """N networks with M duty-cycled devices each.
+
+    Device ``dev-<i>-<j>`` lives in network ``net-<i>``.  The backhaul
+    ("mesh/cloud network" in the paper) can be shaped:
+
+    * ``"full"`` — every aggregator pair directly linked (the default),
+    * ``"line"`` — a chain net-0 — net-1 — ... (worst-case hop count),
+    * ``"star"`` — everyone through net-0 (the "cloud" reading: one
+      central broker/exchange).
+
+    Used by the A4 scalability experiments and the multi-hop roaming
+    tests.
+    """
+    if n_networks < 1:
+        raise ConfigError(f"need at least one network, got {n_networks}")
+    if devices_per_network < 0:
+        raise ConfigError(f"devices per network must be >= 0, got {devices_per_network}")
+    if mesh_topology not in ("full", "line", "star"):
+        raise ConfigError(
+            f"mesh topology must be full/line/star, got {mesh_topology!r}"
+        )
+    simulator = Simulator(seed=seed)
+    scenario = Scenario(
+        simulator=simulator,
+        grid=GridTopology(),
+        chain=Blockchain(authorized=set()),
+        mesh=BackhaulMesh(simulator),
+        channel=WirelessChannel(ChannelParams(), simulator.rng.stream("channel")),
+    )
+    slots = slot_count if slot_count is not None else max(16, devices_per_network + 4)
+    agg_config = AggregatorConfig(t_measure_s=t_measure_s, slot_count=slots)
+    dev_config = DeviceConfig(t_measure_s=t_measure_s)
+    wire = WireSegment(resistance_ohms=0.15, leakage_ma=1.0)
+
+    names = [f"net-{i}" for i in range(n_networks)]
+    for name in names:
+        _add_network(scenario, name, agg_config, 5.0, wire)
+    if mesh_topology == "full":
+        links = [
+            (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
+        ]
+    elif mesh_topology == "line":
+        links = list(zip(names, names[1:]))
+    else:  # star
+        links = [(names[0], other) for other in names[1:]]
+    for a, b in links:
+        scenario.mesh.connect(
+            BackhaulLink(AggregatorId(a), AggregatorId(b), latency_s=0.001)
+        )
+
+    for i, network in enumerate(names):
+        for j in range(devices_per_network):
+            device_name = f"dev-{i}-{j}"
+            profile = DutyCycleProfile(
+                high_ma=40.0 + 10.0 * (j % 5),
+                low_ma=5.0 + (j % 3),
+                period_s=4.0 + (j % 7),
+                duty=0.3 + 0.1 * (j % 4),
+                phase_s=0.7 * j,
+            )
+            _add_device(scenario, device_name, profile, dev_config)
+            if enter_devices:
+                scenario.enter_at(device_name, network, 0.0)
+    return scenario

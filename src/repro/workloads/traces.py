@@ -1,0 +1,221 @@
+"""Trace-driven and multi-state stochastic load profiles.
+
+For users with real measurement data, :class:`TraceProfile` replays a
+recorded ``(time, current)`` trace as a load profile, with CSV
+round-tripping.  For richer synthetic households,
+:class:`MarkovApplianceModel` generates multi-state appliance behaviour
+(off / standby / active / burst) with a pre-drawn schedule, so the
+resulting profile is still a deterministic function of time.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class TraceProfile:
+    """Replays a recorded trace as a step-interpolated profile.
+
+    Args:
+        times: Breakpoint times (strictly increasing, seconds).
+        currents_ma: Current from each breakpoint until the next.
+        repeat: Loop the trace past its end (else hold 0 after it).
+    """
+
+    def __init__(
+        self,
+        times: list[float],
+        currents_ma: list[float],
+        repeat: bool = False,
+    ) -> None:
+        if len(times) != len(currents_ma):
+            raise ConfigError(
+                f"times ({len(times)}) and currents ({len(currents_ma)}) differ"
+            )
+        if not times:
+            raise ConfigError("trace must have at least one breakpoint")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigError("trace times must be strictly increasing")
+        if times[0] != 0.0:
+            raise ConfigError(f"trace must start at t=0, got {times[0]}")
+        if any(c < 0 for c in currents_ma):
+            raise ConfigError("trace currents must be >= 0")
+        self._times = np.asarray(times)
+        self._currents = np.asarray(currents_ma)
+        self._repeat = repeat
+        # The trace's span: last breakpoint defines the loop period by
+        # holding its value for the same duration as the mean step.
+        if len(times) > 1:
+            mean_step = (times[-1] - times[0]) / (len(times) - 1)
+        else:
+            mean_step = 1.0
+        self._span = times[-1] + mean_step
+
+    @property
+    def span_s(self) -> float:
+        """Duration covered by one pass of the trace."""
+        return self._span
+
+    def __call__(self, at_time: float) -> float:
+        if at_time < 0:
+            return 0.0
+        if self._repeat:
+            at_time = at_time % self._span
+        elif at_time >= self._span:
+            return 0.0
+        index = int(np.searchsorted(self._times, at_time, side="right") - 1)
+        index = max(0, index)
+        return float(self._currents[index])
+
+    def to_csv(self) -> str:
+        """CSV text with a header and one breakpoint per row."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["time_s", "current_ma"])
+        for t, c in zip(self._times, self._currents):
+            # repr round-trips floats exactly; fixed-point would lose
+            # precision and break trace-replay determinism.
+            writer.writerow([repr(float(t)), repr(float(c))])
+        return buffer.getvalue()
+
+    @staticmethod
+    def from_csv(text: str, repeat: bool = False) -> "TraceProfile":
+        """Parse the :meth:`to_csv` format (header required)."""
+        reader = csv.reader(io.StringIO(text))
+        rows = [row for row in reader if row]
+        if not rows or rows[0][:2] != ["time_s", "current_ma"]:
+            raise ConfigError("trace CSV must start with 'time_s,current_ma'")
+        times: list[float] = []
+        currents: list[float] = []
+        for line_no, row in enumerate(rows[1:], start=2):
+            try:
+                times.append(float(row[0]))
+                currents.append(float(row[1]))
+            except (IndexError, ValueError) as exc:
+                raise ConfigError(f"bad trace row {line_no}: {row}") from exc
+        return TraceProfile(times, currents, repeat=repeat)
+
+    @staticmethod
+    def load(path: str | Path, repeat: bool = False) -> "TraceProfile":
+        """Load a trace CSV from disk."""
+        return TraceProfile.from_csv(Path(path).read_text(), repeat=repeat)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace CSV to disk."""
+        Path(path).write_text(self.to_csv())
+
+
+APPLIANCE_STATES = ("off", "standby", "active", "burst")
+
+
+class MarkovApplianceModel:
+    """Multi-state appliance behaviour with a pre-drawn schedule.
+
+    States and typical draws: off (0), standby (a few mA), active (the
+    appliance's working draw), burst (compressor / heater peaks).  The
+    transition matrix is row-stochastic over those four states; dwell
+    times are exponential per state.  The whole schedule is drawn at
+    construction, keeping the profile deterministic in time.
+
+    Args:
+        rng: Seeded generator for the schedule draw.
+        standby_ma / active_ma / burst_ma: Per-state draws.
+        mean_dwell_s: Mean dwell per state (same order as
+            ``APPLIANCE_STATES``).
+        transitions: Row-stochastic 4x4 matrix; default favours
+            off<->active cycles with occasional bursts.
+        horizon_s: Schedule length (off beyond it).
+    """
+
+    _DEFAULT_TRANSITIONS = np.array(
+        [
+            [0.0, 0.5, 0.5, 0.0],   # off -> standby/active
+            [0.4, 0.0, 0.6, 0.0],   # standby -> off/active
+            [0.3, 0.2, 0.0, 0.5],   # active -> off/standby/burst
+            [0.0, 0.0, 1.0, 0.0],   # burst -> active
+        ]
+    )
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        standby_ma: float = 3.0,
+        active_ma: float = 60.0,
+        burst_ma: float = 150.0,
+        mean_dwell_s: tuple[float, float, float, float] = (30.0, 10.0, 20.0, 4.0),
+        transitions: np.ndarray | None = None,
+        horizon_s: float = 3600.0,
+    ) -> None:
+        for name, value in (
+            ("standby", standby_ma), ("active", active_ma), ("burst", burst_ma)
+        ):
+            if value < 0:
+                raise ConfigError(f"{name} draw must be >= 0, got {value}")
+        if any(d <= 0 for d in mean_dwell_s):
+            raise ConfigError("dwell means must be positive")
+        if horizon_s <= 0:
+            raise ConfigError(f"horizon must be positive, got {horizon_s}")
+        matrix = (
+            np.asarray(transitions)
+            if transitions is not None
+            else self._DEFAULT_TRANSITIONS
+        )
+        if matrix.shape != (4, 4):
+            raise ConfigError(f"transition matrix must be 4x4, got {matrix.shape}")
+        if not np.allclose(matrix.sum(axis=1), 1.0):
+            raise ConfigError("transition matrix rows must sum to 1")
+        if np.any(matrix < 0):
+            raise ConfigError("transition probabilities must be >= 0")
+
+        draws = {"off": 0.0, "standby": standby_ma, "active": active_ma,
+                 "burst": burst_ma}
+        self._draw_by_state = draws
+        edges = [0.0]
+        currents = []
+        state = 0
+        t = 0.0
+        while t < horizon_s:
+            currents.append(draws[APPLIANCE_STATES[state]])
+            dwell = float(rng.exponential(mean_dwell_s[state]))
+            t += max(dwell, 0.1)
+            edges.append(t)
+            state = int(rng.choice(4, p=matrix[state]))
+        self._edges = np.asarray(edges)
+        self._currents = currents
+        self._horizon = horizon_s
+
+    def __call__(self, at_time: float) -> float:
+        if at_time < 0 or at_time >= self._edges[-1] or at_time >= self._horizon:
+            return 0.0
+        index = int(np.searchsorted(self._edges, at_time, side="right") - 1)
+        if index >= len(self._currents):
+            return 0.0
+        return self._currents[index]
+
+    def occupancy(self, resolution_s: float = 1.0) -> dict[str, float]:
+        """Fraction of the horizon spent in each state (sampled).
+
+        States are identified by their exact construction draws, so the
+        breakdown is exact up to the sampling resolution.
+        """
+        if resolution_s <= 0:
+            raise ConfigError(f"resolution must be positive, got {resolution_s}")
+        samples = int(self._horizon / resolution_s)
+        if samples == 0:
+            raise ConfigError("resolution coarser than the horizon")
+        state_by_draw = {draw: name for name, draw in self._draw_by_state.items()}
+        if len(state_by_draw) < len(self._draw_by_state):
+            raise ConfigError(
+                "state draws must be pairwise distinct for an occupancy breakdown"
+            )
+        counts = dict.fromkeys(APPLIANCE_STATES, 0)
+        for i in range(samples):
+            value = self(i * resolution_s)
+            counts[state_by_draw[value]] += 1
+        return {name: count / samples for name, count in counts.items()}

@@ -1,0 +1,185 @@
+"""Tests for anomaly detectors and tamper attack models."""
+
+import math
+
+import pytest
+
+from repro.anomaly import (
+    DropAttack,
+    EntropyDetector,
+    GroundTruthResidualDetector,
+    OffsetAttack,
+    RangeDetector,
+    RelativeVariationDetector,
+    ReplayAttack,
+    ScalingAttack,
+    TamperAttack,
+)
+from repro.errors import AnomalyError
+
+
+class TestRangeDetector:
+    def test_normal_value_clean(self):
+        assert not RangeDetector(400.0).screen(399.0).anomalous
+
+    def test_overrange_flagged(self):
+        verdict = RangeDetector(400.0).screen(450.0)
+        assert verdict.anomalous
+        assert verdict.score == pytest.approx(50.0)
+
+    def test_negative_flagged(self):
+        assert RangeDetector().screen(-1.0).anomalous
+
+    def test_invalid_config(self):
+        with pytest.raises(AnomalyError):
+            RangeDetector(0.0)
+
+
+class TestResidualDetector:
+    def test_expected_loss_tolerated(self):
+        detector = GroundTruthResidualDetector(0.04, 0.08)
+        assert not detector.screen(100.0, 104.0).anomalous
+
+    def test_underreport_flagged(self):
+        detector = GroundTruthResidualDetector(0.04, 0.08)
+        verdict = detector.screen(60.0, 104.0)
+        assert verdict.anomalous
+        assert "under" in verdict.reason
+
+    def test_overreport_flagged(self):
+        detector = GroundTruthResidualDetector(0.04, 0.08)
+        verdict = detector.screen(150.0, 104.0)
+        assert verdict.anomalous
+        assert "over" in verdict.reason
+
+    def test_dead_feeder(self):
+        detector = GroundTruthResidualDetector()
+        assert detector.screen(10.0, 0.0).anomalous
+        assert not detector.screen(0.0, 0.0).anomalous
+
+    def test_tolerance_boundary(self):
+        detector = GroundTruthResidualDetector(0.0, 0.10)
+        assert not detector.screen(90.1, 100.0).anomalous
+        assert detector.screen(89.0, 100.0).anomalous
+
+    def test_invalid_config(self):
+        with pytest.raises(AnomalyError):
+            GroundTruthResidualDetector(expected_loss_fraction=-0.1)
+        with pytest.raises(AnomalyError):
+            GroundTruthResidualDetector(tolerance_fraction=0.0)
+
+
+class TestRelativeVariationDetector:
+    def test_stable_stream_clean(self):
+        detector = RelativeVariationDetector(window=20, threshold=0.5)
+        assert not any(detector.screen(50.0 + (i % 3)).anomalous for i in range(100))
+
+    def test_sudden_jump_flagged(self):
+        detector = RelativeVariationDetector(window=20, threshold=0.5)
+        for _ in range(20):
+            detector.screen(50.0)
+        assert detector.screen(200.0).anomalous
+
+    def test_needs_history_before_flagging(self):
+        detector = RelativeVariationDetector(window=20, threshold=0.5)
+        # First few values never flag, whatever they are.
+        assert not detector.screen(1.0).anomalous
+        assert not detector.screen(1000.0).anomalous
+
+    def test_adapts_to_new_level(self):
+        detector = RelativeVariationDetector(window=10, threshold=0.5)
+        for _ in range(10):
+            detector.screen(50.0)
+        for _ in range(20):
+            detector.screen(200.0)
+        # After the window fills with the new level, it is the new normal.
+        assert not detector.screen(200.0).anomalous
+
+    def test_invalid_config(self):
+        with pytest.raises(AnomalyError):
+            RelativeVariationDetector(window=1)
+        with pytest.raises(AnomalyError):
+            RelativeVariationDetector(threshold=0.0)
+
+
+class TestEntropyDetector:
+    def test_varied_stream_clean(self):
+        detector = EntropyDetector(window=50, min_entropy_bits=0.5)
+        verdicts = [detector.screen(float(i % 17) * 10).anomalous for i in range(200)]
+        assert not any(verdicts)
+
+    def test_constant_stream_flagged(self):
+        detector = EntropyDetector(window=50, min_entropy_bits=0.5)
+        flagged = [detector.screen(42.0).anomalous for _ in range(100)]
+        assert any(flagged)
+
+    def test_entropy_value_for_two_level_stream(self):
+        detector = EntropyDetector(window=100, bins=16)
+        for i in range(100):
+            detector.screen(10.0 if i % 2 else 90.0)
+        assert detector.entropy_bits() == pytest.approx(1.0, abs=0.05)
+
+    def test_entropy_infinite_when_empty(self):
+        assert math.isinf(EntropyDetector().entropy_bits())
+
+    def test_invalid_config(self):
+        with pytest.raises(AnomalyError):
+            EntropyDetector(window=5)
+        with pytest.raises(AnomalyError):
+            EntropyDetector(bins=1)
+        with pytest.raises(AnomalyError):
+            EntropyDetector(min_entropy_bits=-0.1)
+
+
+class TestAttacks:
+    def test_identity_attack(self):
+        assert TamperAttack().apply(123.0) == 123.0
+
+    def test_scaling_underreports(self):
+        attack = ScalingAttack(0.5)
+        assert attack.apply(100.0) == 50.0
+
+    def test_offset_clamped_at_zero(self):
+        attack = OffsetAttack(30.0)
+        assert attack.apply(100.0) == 70.0
+        assert attack.apply(10.0) == 0.0
+
+    def test_replay_freezes_value(self):
+        attack = ReplayAttack(capture_after=3)
+        outputs = [attack.apply(float(i * 10)) for i in range(10)]
+        assert outputs[:3] == [0.0, 10.0, 20.0]
+        assert all(v == 20.0 for v in outputs[3:])
+
+    def test_drop_periodic_zeroes(self):
+        attack = DropAttack(period=3)
+        outputs = [attack.apply(100.0) for _ in range(9)]
+        assert outputs.count(0.0) == 3
+
+    def test_invalid_attack_params(self):
+        with pytest.raises(AnomalyError):
+            ScalingAttack(1.5)
+        with pytest.raises(AnomalyError):
+            OffsetAttack(-1.0)
+        with pytest.raises(AnomalyError):
+            ReplayAttack(0)
+        with pytest.raises(AnomalyError):
+            DropAttack(1)
+
+    def test_scaling_beats_history_but_not_residual(self):
+        # The threat model of the paper: per-device history looks normal
+        # (the shape is unchanged), but the complementary measurement
+        # catches the shortfall.
+        history = RelativeVariationDetector(window=20, threshold=0.5)
+        residual = GroundTruthResidualDetector(0.04, 0.08)
+        attack = ScalingAttack(0.5)
+        history_hits = 0
+        residual_hits = 0
+        for i in range(100):
+            true = 80.0 + (i % 5)
+            reported = attack.apply(true)
+            if history.screen(reported).anomalous:
+                history_hits += 1
+            if residual.screen(reported, true * 1.04).anomalous:
+                residual_hits += 1
+        assert history_hits == 0
+        assert residual_hits == 100

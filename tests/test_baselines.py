@@ -1,0 +1,93 @@
+"""Tests for the centralized and naive baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CentralizedMeteringBaseline, NaiveDeviceLog
+from repro.errors import StorageError
+from repro.grid import FeederMeter, GridNetwork
+from repro.hw.powerline import WireSegment
+from repro.ids import AggregatorId, DeviceId
+from repro.sim import Simulator
+
+
+def make_metered_network():
+    sim = Simulator(seed=0)
+    network = GridNetwork(
+        AggregatorId("agg1"),
+        default_segment=WireSegment(resistance_ohms=0.0, leakage_ma=0.0),
+    )
+    network.attach(DeviceId("d1"), lambda t: 100.0, 0.0)
+    meter = FeederMeter(network, sim.rng.stream("meter"))
+    return sim, network, meter
+
+
+class TestCentralized:
+    def test_samples_and_energy(self):
+        sim, _, meter = make_metered_network()
+        baseline = CentralizedMeteringBaseline(sim, meter, sample_interval_s=0.1)
+        baseline.start()
+        sim.run_until(10.0)
+        assert len(baseline.series) == 100
+        # ~100 mA at 5 V for 10 s.
+        expected = 100.0 * 5.0 * 10.0 / 3600.0
+        assert baseline.energy_mwh == pytest.approx(expected, rel=0.05)
+
+    def test_stop_halts_sampling(self):
+        sim, _, meter = make_metered_network()
+        baseline = CentralizedMeteringBaseline(sim, meter)
+        baseline.start()
+        sim.schedule(1.05, baseline.stop)
+        sim.run_until(5.0)
+        assert len(baseline.series) == 10
+
+    def test_cannot_attribute_per_device(self):
+        sim, _, meter = make_metered_network()
+        baseline = CentralizedMeteringBaseline(sim, meter)
+        with pytest.raises(NotImplementedError):
+            baseline.attribute_to_device("d1")
+
+    def test_blind_to_departed_device(self):
+        # The motivating failure: once the device leaves, the location
+        # meter reads (near) zero; consumption elsewhere is invisible.
+        sim, network, meter = make_metered_network()
+        baseline = CentralizedMeteringBaseline(sim, meter, sample_interval_s=0.1)
+        baseline.start()
+        sim.schedule(5.0, lambda: network.detach(DeviceId("d1")))
+        sim.run_until(10.0)
+        after = baseline.series.mean(6.0, 10.0)
+        before = baseline.series.mean(0.0, 5.0)
+        assert before > 90.0
+        assert abs(after) < 2.0
+
+
+class TestNaiveDeviceLog:
+    def test_append_and_totals(self):
+        log = NaiveDeviceLog()
+        log.append({"device": "d1", "energy_mwh": 2.0})
+        log.append({"device": "d2", "energy_mwh": 3.0})
+        assert len(log) == 2
+        assert log.total_energy_mwh() == pytest.approx(5.0)
+        assert log.total_energy_mwh("d1") == pytest.approx(2.0)
+
+    def test_tamper_succeeds_silently(self):
+        log = NaiveDeviceLog()
+        log.append({"device": "d1", "energy_mwh": 10.0})
+        log.tamper(0, energy_mwh=0.0)
+        assert log.total_energy_mwh() == 0.0
+        # ... and the 'audit' is content-free.
+        assert log.audit() is True
+
+    def test_tamper_bounds(self):
+        with pytest.raises(StorageError):
+            NaiveDeviceLog().tamper(0, x=1)
+
+    def test_records_are_copies(self):
+        log = NaiveDeviceLog()
+        original = {"device": "d1", "energy_mwh": 1.0}
+        log.append(original)
+        original["energy_mwh"] = 99.0
+        assert log.total_energy_mwh() == 1.0
+        exported = log.records()
+        exported[0]["energy_mwh"] = 77.0
+        assert log.total_energy_mwh() == 1.0

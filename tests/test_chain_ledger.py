@@ -1,0 +1,260 @@
+"""Tests for the ledger, stores, audit and consensus."""
+
+import pytest
+
+from repro.chain import (
+    AuditReport,
+    Block,
+    Blockchain,
+    InMemoryBlockStore,
+    JsonlBlockStore,
+    PoaConsensus,
+    Validator,
+    audit_chain,
+)
+from repro.chain.hashing import GENESIS_HASH
+from repro.errors import BlockValidationError, ChainError, ConsensusError
+
+
+def record(device="d1", energy=1.0, seq=0):
+    return {"device": device, "device_uid": device * 2, "energy_mwh": energy, "sequence": seq}
+
+
+class TestBlockchain:
+    def test_append_advances_height_and_tip(self):
+        chain = Blockchain()
+        first = chain.append("agg1", 1.0, [record()])
+        assert chain.height == 1
+        assert chain.tip_hash == first.block_hash
+
+    def test_blocks_link(self):
+        chain = Blockchain()
+        a = chain.append("agg1", 1.0, [record(seq=0)])
+        b = chain.append("agg1", 2.0, [record(seq=1)])
+        assert b.header.previous_hash == a.block_hash
+        assert a.header.previous_hash == GENESIS_HASH
+
+    def test_validate_clean_chain(self):
+        chain = Blockchain()
+        for i in range(10):
+            chain.append("agg1", float(i), [record(seq=i)])
+        chain.validate()
+
+    def test_permissioned_append(self):
+        chain = Blockchain(authorized={"agg1"})
+        chain.append("agg1", 1.0, [])
+        with pytest.raises(ChainError):
+            chain.append("intruder", 2.0, [])
+
+    def test_authorize_grants_access(self):
+        chain = Blockchain(authorized=set())
+        chain.authorize("agg1")
+        chain.append("agg1", 1.0, [])
+
+    def test_open_chain_allows_anyone(self):
+        chain = Blockchain()
+        chain.append("whoever", 1.0, [])
+
+    def test_iteration_and_len(self):
+        chain = Blockchain()
+        for i in range(3):
+            chain.append("agg1", float(i), [])
+        assert len(chain) == 3
+        assert [b.header.height for b in chain] == [0, 1, 2]
+
+    def test_records_for_device(self):
+        chain = Blockchain()
+        chain.append("agg1", 1.0, [record("d1", seq=0), record("d2", seq=0)])
+        chain.append("agg1", 2.0, [record("d1", seq=1)])
+        mine = chain.records_for_device("d1d1")
+        assert len(mine) == 2
+
+    def test_total_energy(self):
+        chain = Blockchain()
+        chain.append("agg1", 1.0, [record(energy=2.0, seq=0), record("d2", 3.0, 0)])
+        assert chain.total_energy_mwh() == pytest.approx(5.0)
+        assert chain.total_energy_mwh("d1d1") == pytest.approx(2.0)
+
+    def test_resume_from_populated_store(self):
+        store = InMemoryBlockStore()
+        chain = Blockchain(store)
+        chain.append("agg1", 1.0, [record(seq=0)])
+        resumed = Blockchain(store)
+        assert resumed.height == 1
+        assert resumed.tip_hash == chain.tip_hash
+        resumed.append("agg1", 2.0, [record(seq=1)])
+        resumed.validate()
+
+
+class TestStores:
+    def test_in_memory_height_ordering(self):
+        store = InMemoryBlockStore()
+        block = Block.create(0, GENESIS_HASH, "a", 0.0, [])
+        store.put(block)
+        with pytest.raises(ChainError):
+            store.put(block)  # height 0 again
+
+    def test_in_memory_get_bounds(self):
+        with pytest.raises(ChainError):
+            InMemoryBlockStore().get(0)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        store = JsonlBlockStore(path)
+        chain = Blockchain(store)
+        for i in range(5):
+            chain.append("agg1", float(i), [record(seq=i)])
+        # A fresh store instance reads the same chain back.
+        reloaded = Blockchain(JsonlBlockStore(path))
+        assert reloaded.height == 5
+        reloaded.validate()
+
+    def test_jsonl_corrupt_line_detected(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        store = JsonlBlockStore(path)
+        Blockchain(store).append("agg1", 1.0, [])
+        path.write_text(path.read_text() + "not json\n")
+        with pytest.raises(ChainError):
+            JsonlBlockStore(path).height()
+
+    def test_jsonl_empty_file_ok(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        path.write_text("\n")
+        assert JsonlBlockStore(path).height() == 0
+
+
+class TestAudit:
+    def build_chain(self, store, n=8):
+        chain = Blockchain(store)
+        for i in range(n):
+            chain.append("agg1", float(i), [record(seq=i, energy=float(i))])
+        return chain
+
+    def test_clean_chain_audits_clean(self):
+        store = InMemoryBlockStore()
+        chain = self.build_chain(store)
+        report = audit_chain(chain)
+        assert report.clean
+        assert report.first_bad_height is None
+
+    def test_mutated_record_detected(self):
+        store = InMemoryBlockStore()
+        chain = self.build_chain(store)
+        victim = store.get(3)
+        forged_records = list(victim.records)
+        forged_records[0] = dict(forged_records[0], energy_mwh=0.0)
+        store.tamper(3, Block(victim.header, tuple(forged_records), victim.block_hash))
+        report = audit_chain(chain)
+        assert not report.clean
+        assert 3 in report.invalid_blocks
+        assert report.first_bad_height == 3
+
+    def test_recomputed_hash_breaks_link(self):
+        # A smarter attacker recomputes the block hash — the *next*
+        # block's previous-hash link still exposes the edit.
+        store = InMemoryBlockStore()
+        chain = self.build_chain(store)
+        victim = store.get(3)
+        forged = Block.create(
+            height=3,
+            previous_hash=victim.header.previous_hash,
+            aggregator=victim.header.aggregator,
+            timestamp=victim.header.timestamp,
+            records=[dict(victim.records[0], energy_mwh=0.0)],
+        )
+        store.tamper(3, forged)
+        report = audit_chain(chain)
+        assert not report.clean
+        assert 4 in report.broken_links
+
+    def test_validate_raises_on_tamper(self):
+        store = InMemoryBlockStore()
+        chain = self.build_chain(store)
+        victim = store.get(2)
+        store.tamper(2, Block(victim.header, ({"forged": True},), victim.block_hash))
+        with pytest.raises(BlockValidationError):
+            chain.validate()
+
+    def test_empty_chain_clean(self):
+        assert audit_chain(Blockchain()).clean
+
+    def test_report_collects_all_problems(self):
+        store = InMemoryBlockStore()
+        chain = self.build_chain(store)
+        for height in (2, 5):
+            victim = store.get(height)
+            store.tamper(
+                height, Block(victim.header, ({"forged": height},), victim.block_hash)
+            )
+        report = audit_chain(chain)
+        assert set(report.invalid_blocks) == {2, 5}
+
+
+class TestConsensus:
+    def test_quorum_commits(self):
+        chain = Blockchain()
+        validators = [Validator(f"v{i}") for i in range(4)]
+        consensus = PoaConsensus(validators, chain)
+        committed, votes = consensus.propose(1.0, [record()])
+        assert committed
+        assert chain.height == 1
+        assert all(v.accept for v in votes)
+
+    def test_rejection_below_quorum(self):
+        chain = Blockchain()
+        validators = [
+            Validator("v0"),
+            Validator("v1", check=lambda r: False),
+            Validator("v2", check=lambda r: False),
+        ]
+        consensus = PoaConsensus(validators, chain)
+        committed, votes = consensus.propose(1.0, [record()])
+        assert not committed
+        assert chain.height == 0
+
+    def test_exact_two_thirds_insufficient(self):
+        # Strictly-greater-than quorum: 2 of 3 accepts is not > 2/3.
+        chain = Blockchain()
+        validators = [
+            Validator("v0"),
+            Validator("v1"),
+            Validator("v2", check=lambda r: False),
+        ]
+        committed, _ = PoaConsensus(validators, chain).propose(1.0, [])
+        assert not committed
+
+    def test_proposer_rotates(self):
+        chain = Blockchain()
+        validators = [Validator(f"v{i}") for i in range(3)]
+        consensus = PoaConsensus(validators, chain)
+        assert consensus.proposer_for_round(0).name == "v0"
+        assert consensus.proposer_for_round(4).name == "v1"
+        consensus.propose(1.0, [])
+        consensus.propose(2.0, [])
+        assert [b.header.aggregator for b in chain] == ["v0", "v1"]
+
+    def test_message_accounting(self):
+        chain = Blockchain()
+        validators = [Validator(f"v{i}") for i in range(4)]
+        consensus = PoaConsensus(validators, chain)
+        consensus.propose(1.0, [])
+        # 3 proposal messages + 4*3 vote messages.
+        assert consensus.messages_exchanged == 15
+
+    def test_validator_checks_data(self):
+        chain = Blockchain()
+        validators = [
+            Validator(f"v{i}", check=lambda rs: all(r["energy_mwh"] < 10 for r in rs))
+            for i in range(4)
+        ]
+        consensus = PoaConsensus(validators, chain)
+        committed, _ = consensus.propose(1.0, [record(energy=100.0)])
+        assert not committed
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConsensusError):
+            PoaConsensus([], Blockchain())
+        with pytest.raises(ConsensusError):
+            PoaConsensus([Validator("a"), Validator("a")], Blockchain())
+        with pytest.raises(ConsensusError):
+            PoaConsensus([Validator("a")], Blockchain(), quorum_ratio=1.5)

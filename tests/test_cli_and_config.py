@@ -1,0 +1,86 @@
+"""Tests for the CLI entry point and scenario-params config."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.config import ScenarioParams, load_params, save_params
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.runner import EXPERIMENTS, run_all
+
+
+class TestRunner:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_all(["not-an-experiment"])
+
+    def test_selected_subset_runs(self):
+        outputs = run_all(["handshake"])
+        assert list(outputs) == ["handshake"]
+        assert "T_handshake" in outputs["handshake"]
+
+    def test_registry_names_are_stable(self):
+        assert {"fig5", "fig6", "handshake"} <= set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "fig6" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["handshake"]) == 0
+        out = capsys.readouterr().out
+        assert "=== handshake" in out
+        assert "T_handshake" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.experiments == []
+        assert not args.list
+
+
+class TestScenarioParams:
+    def test_defaults_valid(self):
+        params = ScenarioParams()
+        assert params.n_networks == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_networks": 0},
+            {"devices_per_network": -1},
+            {"t_measure_s": 0.0},
+            {"duration_s": -5.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ScenarioParams(**kwargs)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "params.json"
+        params = ScenarioParams(seed=9, n_networks=3, duration_s=12.0)
+        save_params(params, path)
+        assert load_params(path) == params
+
+    def test_unknown_key_rejected(self, tmp_path):
+        path = tmp_path / "params.json"
+        path.write_text(json.dumps({"seed": 1, "bogus": True}))
+        with pytest.raises(ConfigError):
+            load_params(path)
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "params.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_params(path)
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigError):
+            load_params(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_params(tmp_path / "absent.json")

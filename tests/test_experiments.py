@@ -1,0 +1,189 @@
+"""Tests for the experiment harnesses: the paper's claims must hold."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    run_anomaly_ablation,
+    run_fig5,
+    run_fig6,
+    run_handshake_distribution,
+    run_sensor_ablation,
+    run_storage_ablation,
+)
+from repro.experiments.report import (
+    render_fig5,
+    render_fig6,
+    render_handshake_stats,
+    render_table,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5(seed=0, duration_s=35.0, warmup_s=12.0)
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(seed=0, phase1_s=15.0, idle_s=6.0, phase2_s=18.0)
+
+
+class TestFig5:
+    def test_aggregator_reads_higher_on_average(self, fig5_result):
+        # The paper's core Fig. 5 observation.
+        assert fig5_result.mean_gap_pct > 0
+
+    def test_gap_in_paper_band(self, fig5_result):
+        # Paper: 0.9 - 8.2 %.  Same shape: positive, single-digit.
+        assert -0.5 < fig5_result.min_gap_pct
+        assert fig5_result.max_gap_pct < 12.0
+        assert 1.0 < fig5_result.mean_gap_pct < 6.0
+
+    def test_gap_varies_across_intervals(self, fig5_result):
+        assert fig5_result.max_gap_pct - fig5_result.min_gap_pct > 1.0
+
+    def test_both_networks_covered(self, fig5_result):
+        networks = {row.network for row in fig5_result.rows}
+        assert networks == {"agg1", "agg2"}
+
+    def test_rows_have_both_devices(self, fig5_result):
+        for row in fig5_result.rows:
+            assert len(row.per_device_ma) == 2
+            assert row.device_sum_ma == pytest.approx(
+                sum(row.per_device_ma.values())
+            )
+
+    def test_validation_errors(self):
+        with pytest.raises(ExperimentError):
+            run_fig5(duration_s=10.0, warmup_s=10.0)
+
+    def test_render(self, fig5_result):
+        text = render_fig5(fig5_result)
+        assert "gap_%" in text
+        assert "paper: 0.9%" in text
+
+
+class TestFig6:
+    def test_handshake_in_paper_band(self, fig6_result):
+        assert 5.0 < fig6_result.handshake_s < 7.0
+
+    def test_buffered_backfill_present(self, fig6_result):
+        assert fig6_result.buffered_records > 0
+
+    def test_idle_gap_has_no_consumption(self, fig6_result):
+        gap = [
+            v
+            for t, v in zip(fig6_result.consumption_times, fig6_result.consumption_values)
+            if fig6_result.left_network1_at + 0.2 < t < fig6_result.entered_network2_at - 0.2
+        ]
+        assert gap == []
+
+    def test_consumption_during_handshake_recovered(self, fig6_result):
+        # Records with measurement times inside the handshake window
+        # exist in the ledger even though connectivity was absent.
+        start = fig6_result.entered_network2_at
+        end = start + fig6_result.handshake_s
+        backfilled = [
+            t for t in fig6_result.consumption_times if start + 0.3 < t < end - 0.3
+        ]
+        assert backfilled
+
+    def test_forwarded_data_reaches_home(self, fig6_result):
+        assert fig6_result.first_forwarded_at is not None
+        assert fig6_result.first_forwarded_at > fig6_result.entered_network2_at
+
+    def test_arrival_series_nonempty(self, fig6_result):
+        assert len(fig6_result.arrival_times) > 100
+
+    def test_render(self, fig6_result):
+        text = render_fig6(fig6_result)
+        assert "T_handshake" in text
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_fig6(phase1_s=0.0)
+
+
+class TestHandshakeDistribution:
+    def test_paper_statistics(self):
+        stats = run_handshake_distribution(runs=15, base_seed=0)
+        # Paper: mean ~6 s, range 5.5 - 6.5 s over 15 runs.
+        assert stats.runs == 15
+        assert 5.5 < stats.mean_s < 6.5
+        assert stats.min_s > 5.0
+        assert stats.max_s < 7.0
+
+    def test_runs_vary(self):
+        stats = run_handshake_distribution(runs=5, base_seed=3)
+        assert stats.max_s > stats.min_s
+
+    def test_render(self):
+        stats = run_handshake_distribution(runs=3, base_seed=1)
+        assert "T_handshake" in render_handshake_stats(stats)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_handshake_distribution(runs=0)
+
+
+class TestAblations:
+    def test_sensor_ablation_attributes_gap(self):
+        rows = run_sensor_ablation(
+            duration_s=25.0,
+            warmup_s=12.0,
+            offsets_ma=(0.0, 0.5),
+            wires=((0.0, 0.0), (0.1, 2.5)),
+        )
+        by_key = {
+            (r.offset_max_ma, r.wire_resistance_ohms, r.wire_leakage_ma): r
+            for r in rows
+        }
+        ideal = by_key[(0.0, 0.0, 0.0)]
+        nominal = by_key[(0.5, 0.1, 2.5)]
+        # No error sources -> near-zero gap; nominal -> clearly positive.
+        assert abs(ideal.mean_gap_pct) < 0.5
+        assert nominal.mean_gap_pct > 1.0
+
+    def test_wire_model_dominates_offset(self):
+        rows = run_sensor_ablation(
+            duration_s=25.0,
+            warmup_s=12.0,
+            offsets_ma=(0.5,),
+            wires=((0.0, 0.0), (0.1, 2.5)),
+        )
+        no_wire, with_wire = rows
+        assert with_wire.mean_gap_pct > no_wire.mean_gap_pct
+
+    def test_storage_ablation_backfill_always_works(self):
+        rows = run_storage_ablation(idle_gaps_s=(2.0, 20.0))
+        assert all(r.backfill_worked for r in rows)
+        # Longer disconnection, at least as many buffered records.
+        assert rows[1].buffered_records >= rows[0].buffered_records
+
+    def test_anomaly_ablation_detects_all_attacks(self):
+        rows = run_anomaly_ablation()
+        by_attack = {r.attack: r for r in rows}
+        # The honest baseline must NOT be flagged...
+        assert not by_attack["none"].detected_by_any
+        # ...while every attack is caught by at least one detector.
+        for name in ("scaling", "offset", "replay", "drop"):
+            assert by_attack[name].detected_by_any, name
+
+    def test_anomaly_ablation_residual_catches_scaling(self):
+        rows = {r.attack: r for r in run_anomaly_ablation()}
+        assert rows["scaling"].residual_detected
+
+    def test_anomaly_ablation_entropy_catches_replay(self):
+        rows = {r.attack: r for r in run_anomaly_ablation()}
+        assert rows["replay"].entropy_detected
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1] or "-" in lines[1]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows aligned

@@ -1,0 +1,155 @@
+"""Tests for the electrical grid substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.grid import FeederMeter, GridNetwork, GridTopology
+from repro.grid.loadflow import device_share, topology_true_current_ma
+from repro.hw.powerline import WireSegment
+from repro.ids import AggregatorId, DeviceId
+
+
+def lossless_network(name="agg1", host_load=0.0) -> GridNetwork:
+    return GridNetwork(
+        AggregatorId(name),
+        host_load_ma=host_load,
+        default_segment=WireSegment(resistance_ohms=0.0, leakage_ma=0.0),
+    )
+
+
+class TestGridNetwork:
+    def test_attach_and_measure(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 100.0, 0.0)
+        assert net.feeder_current_ma(1.0) == pytest.approx(100.0)
+
+    def test_feeder_sums_devices(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 100.0, 0.0)
+        net.attach(DeviceId("d2"), lambda t: 50.0, 0.0)
+        assert net.feeder_current_ma(0.0) == pytest.approx(150.0)
+
+    def test_feeder_includes_host_load(self):
+        net = lossless_network(host_load=360.0)
+        assert net.feeder_current_ma(0.0) == pytest.approx(360.0)
+
+    def test_feeder_includes_wire_losses(self):
+        net = GridNetwork(
+            AggregatorId("agg1"),
+            default_segment=WireSegment(resistance_ohms=0.5, leakage_ma=2.0),
+        )
+        net.attach(DeviceId("d1"), lambda t: 100.0, 0.0)
+        assert net.feeder_current_ma(0.0) == pytest.approx(103.0)
+
+    def test_time_dependent_profile(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 10.0 * t, 0.0)
+        assert net.feeder_current_ma(3.0) == pytest.approx(30.0)
+
+    def test_double_attach_rejected(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 1.0, 0.0)
+        with pytest.raises(GridError):
+            net.attach(DeviceId("d1"), lambda t: 1.0, 1.0)
+
+    def test_detach_removes_load(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 100.0, 0.0)
+        net.detach(DeviceId("d1"))
+        assert net.feeder_current_ma(0.0) == 0.0
+
+    def test_detach_unknown_rejected(self):
+        with pytest.raises(GridError):
+            lossless_network().detach(DeviceId("ghost"))
+
+    def test_negative_draw_rejected(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: -5.0, 0.0)
+        with pytest.raises(GridError):
+            net.feeder_current_ma(0.0)
+
+    def test_device_current_lookup(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 42.0, 0.0)
+        assert net.device_current_ma(DeviceId("d1"), 0.0) == 42.0
+        with pytest.raises(GridError):
+            net.device_current_ma(DeviceId("other"), 0.0)
+
+
+class TestGridTopology:
+    def make_topology(self):
+        topo = GridTopology()
+        topo.add_network(lossless_network("agg1"))
+        topo.add_network(lossless_network("agg2"))
+        return topo
+
+    def test_single_attachment_invariant(self):
+        topo = self.make_topology()
+        topo.attach(DeviceId("d1"), AggregatorId("agg1"), lambda t: 1.0, 0.0)
+        with pytest.raises(GridError):
+            topo.attach(DeviceId("d1"), AggregatorId("agg2"), lambda t: 1.0, 1.0)
+
+    def test_location_tracking(self):
+        topo = self.make_topology()
+        device = DeviceId("d1")
+        assert topo.location_of(device) is None
+        topo.attach(device, AggregatorId("agg1"), lambda t: 1.0, 0.0)
+        assert topo.location_of(device) == AggregatorId("agg1")
+        topo.detach(device)
+        assert topo.location_of(device) is None
+
+    def test_move_between_networks(self):
+        topo = self.make_topology()
+        device = DeviceId("d1")
+        topo.attach(device, AggregatorId("agg1"), lambda t: 10.0, 0.0)
+        topo.move(device, AggregatorId("agg2"), lambda t: 10.0, 5.0)
+        assert topo.location_of(device) == AggregatorId("agg2")
+        assert topo.network(AggregatorId("agg1")).feeder_current_ma(5.0) == 0.0
+        assert topo.network(AggregatorId("agg2")).feeder_current_ma(5.0) == 10.0
+
+    def test_duplicate_network_rejected(self):
+        topo = self.make_topology()
+        with pytest.raises(GridError):
+            topo.add_network(lossless_network("agg1"))
+
+    def test_unknown_network_rejected(self):
+        with pytest.raises(GridError):
+            GridTopology().network(AggregatorId("nope"))
+
+    def test_detach_unattached_rejected(self):
+        with pytest.raises(GridError):
+            self.make_topology().detach(DeviceId("d1"))
+
+
+class TestFeederMeter:
+    def test_truth_vs_measured_close(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 500.0, 0.0)
+        meter = FeederMeter(net, np.random.default_rng(0))
+        truth = meter.true_current_ma(0.0)
+        measured = meter.measure_ma(0.0)
+        assert truth == pytest.approx(500.0)
+        assert abs(measured - truth) < 3.0  # gain + offset + LSB
+
+    def test_revenue_grade_gain(self):
+        net = lossless_network()
+        meter = FeederMeter(net, np.random.default_rng(1))
+        assert abs(meter.sensor.gain - 1.0) <= 0.002
+
+
+class TestLoadflow:
+    def test_topology_truth_per_network(self):
+        topo = GridTopology()
+        topo.add_network(lossless_network("agg1"))
+        topo.add_network(lossless_network("agg2"))
+        topo.attach(DeviceId("d1"), AggregatorId("agg1"), lambda t: 10.0, 0.0)
+        truth = topology_true_current_ma(topo, 0.0)
+        assert truth[AggregatorId("agg1")] == pytest.approx(10.0)
+        assert truth[AggregatorId("agg2")] == pytest.approx(0.0)
+
+    def test_device_share(self):
+        net = lossless_network()
+        net.attach(DeviceId("d1"), lambda t: 10.0, 0.0)
+        net.attach(DeviceId("d2"), lambda t: 20.0, 0.0)
+        assert device_share(net, 0.0) == {"d1": 10.0, "d2": 20.0}

@@ -1,0 +1,159 @@
+"""Tests for ESP32, RPi, battery/charger and wire models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, HardwareError
+from repro.hw import Battery, CcCvCharger, Esp32Mcu, McuState, RaspberryPi, WireSegment
+
+
+class TestEsp32:
+    def test_default_state_is_idle(self):
+        mcu = Esp32Mcu()
+        assert mcu.state is McuState.IDLE
+        assert mcu.current_ma() == pytest.approx(20.0)
+
+    def test_state_transitions_change_current(self):
+        mcu = Esp32Mcu()
+        mcu.set_state(McuState.WIFI_TX, 1.0)
+        assert mcu.current_ma() == pytest.approx(180.0)
+        mcu.set_state(McuState.DEEP_SLEEP, 2.0)
+        assert mcu.current_ma() == pytest.approx(0.01)
+
+    def test_state_ordering_enforced(self):
+        mcu = Esp32Mcu()
+        mcu.set_state(McuState.ACTIVE, 5.0)
+        with pytest.raises(HardwareError):
+            mcu.set_state(McuState.IDLE, 4.0)
+
+    def test_time_in_state_accounting(self):
+        mcu = Esp32Mcu()
+        mcu.set_state(McuState.ACTIVE, 2.0)
+        mcu.set_state(McuState.IDLE, 5.0)
+        assert mcu.time_in_state(McuState.IDLE, 7.0) == pytest.approx(2.0 + 2.0)
+        assert mcu.time_in_state(McuState.ACTIVE, 7.0) == pytest.approx(3.0)
+
+    def test_custom_current_table(self):
+        mcu = Esp32Mcu(state_current_ma={McuState.IDLE: 15.0})
+        assert mcu.current_ma() == pytest.approx(15.0)
+        assert mcu.current_in_state_ma(McuState.ACTIVE) == pytest.approx(45.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            Esp32Mcu(supply_voltage_v=0.0)
+        with pytest.raises(ConfigError):
+            Esp32Mcu(state_current_ma={McuState.IDLE: -1.0})
+
+
+class TestRaspberryPi:
+    def test_latency_positive_and_near_median(self):
+        host = RaspberryPi(np.random.default_rng(0))
+        samples = [host.processing_latency_s() for _ in range(500)]
+        assert all(s > 0 for s in samples)
+        assert np.median(samples) == pytest.approx(0.002, rel=0.3)
+
+    def test_zero_jitter_is_deterministic(self):
+        host = RaspberryPi(np.random.default_rng(0), jitter_sigma=0.0)
+        assert host.processing_latency_s() == host.processing_latency_s() == 0.002
+
+    def test_invalid_params_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            RaspberryPi(rng, median_proc_latency_s=0.0)
+        with pytest.raises(ConfigError):
+            RaspberryPi(rng, baseline_current_ma=-1.0)
+
+
+class TestBattery:
+    def test_soc_integration(self):
+        battery = Battery(100.0, soc=0.0)
+        battery.add_charge(100.0, 1800.0)  # 100 mA for 30 min = 50 mAh
+        assert battery.soc == pytest.approx(0.5)
+
+    def test_soc_clamps_at_full(self):
+        battery = Battery(10.0, soc=0.9)
+        battery.add_charge(100.0, 3600.0)
+        assert battery.soc == 1.0
+
+    def test_drain(self):
+        battery = Battery(100.0, soc=0.5)
+        battery.drain(50.0, 3600.0)
+        assert battery.soc == pytest.approx(0.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            Battery(0.0)
+        with pytest.raises(ConfigError):
+            Battery(10.0, soc=1.5)
+        with pytest.raises(HardwareError):
+            Battery(10.0).add_charge(1.0, -1.0)
+
+
+class TestCcCvCharger:
+    def test_cc_phase_constant(self):
+        charger = CcCvCharger(150.0, cv_threshold_soc=0.8)
+        assert charger.charge_current_ma(0.0) == 150.0
+        assert charger.charge_current_ma(0.79) == 150.0
+
+    def test_cv_phase_decays(self):
+        charger = CcCvCharger(150.0, cv_threshold_soc=0.8)
+        c1 = charger.charge_current_ma(0.85)
+        c2 = charger.charge_current_ma(0.95)
+        assert 150.0 > c1 > c2 > 0.0
+
+    def test_full_battery_draws_nothing(self):
+        charger = CcCvCharger(150.0)
+        assert charger.charge_current_ma(1.0) == 0.0
+
+    def test_termination_current_at_full_approach(self):
+        charger = CcCvCharger(100.0, termination_ratio=0.05)
+        near_full = charger.charge_current_ma(0.999999)
+        assert near_full == pytest.approx(5.0, rel=0.05)
+
+    def test_step_advances_battery(self):
+        battery = Battery(10.0, soc=0.0)
+        charger = CcCvCharger(100.0)
+        drawn = charger.step(battery, 360.0)  # 100 mA for 6 min = 10 mAh
+        assert drawn == 100.0
+        assert battery.soc == pytest.approx(1.0)
+
+    def test_invalid_soc_rejected(self):
+        with pytest.raises(HardwareError):
+            CcCvCharger(100.0).charge_current_ma(1.2)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            CcCvCharger(0.0)
+        with pytest.raises(ConfigError):
+            CcCvCharger(100.0, cv_threshold_soc=1.0)
+        with pytest.raises(ConfigError):
+            CcCvCharger(100.0, termination_ratio=0.0)
+
+
+class TestWireSegment:
+    def test_feeder_sees_more_than_device(self):
+        segment = WireSegment(resistance_ohms=0.2, leakage_ma=1.0)
+        assert segment.feeder_current_ma(100.0, 5.0) > 100.0
+
+    def test_loss_components(self):
+        segment = WireSegment(resistance_ohms=0.5, leakage_ma=2.0)
+        # I^2 R / V at 100 mA: (0.1^2 * 0.5 / 5) A = 1 mA, plus leakage.
+        assert segment.loss_current_ma(100.0, 5.0) == pytest.approx(3.0)
+
+    def test_zero_wire_is_lossless(self):
+        segment = WireSegment(resistance_ohms=0.0, leakage_ma=0.0)
+        assert segment.feeder_current_ma(123.0, 5.0) == pytest.approx(123.0)
+
+    def test_loss_grows_quadratically_with_current(self):
+        segment = WireSegment(resistance_ohms=1.0, leakage_ma=0.0)
+        l1 = segment.loss_current_ma(100.0, 5.0)
+        l2 = segment.loss_current_ma(200.0, 5.0)
+        assert l2 == pytest.approx(4 * l1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            WireSegment(resistance_ohms=-0.1)
+        with pytest.raises(ConfigError):
+            WireSegment(leakage_ma=-1.0)
+        with pytest.raises(ConfigError):
+            WireSegment().loss_current_ma(10.0, 0.0)

@@ -1,0 +1,130 @@
+"""Tests for the INA219 and DS3231 hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, HardwareError, SensorRangeError
+from repro.hw import Ds3231Rtc, Ina219, Ina219Config
+
+
+def make_sensor(seed=0, **overrides) -> Ina219:
+    return Ina219(Ina219Config(**overrides), np.random.default_rng(seed))
+
+
+class TestIna219Config:
+    def test_default_lsb_matches_12bit_400ma(self):
+        config = Ina219Config()
+        assert config.lsb_ma == pytest.approx(800.0 / 4096)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("shunt_ohms", 0.0),
+            ("range_ma", -1.0),
+            ("adc_bits", 4),
+            ("adc_bits", 20),
+            ("offset_max_ma", -0.1),
+            ("gain_error_max", -0.01),
+            ("noise_std_ma", -1.0),
+        ],
+    )
+    def test_invalid_config_rejected(self, field, value):
+        with pytest.raises(ConfigError):
+            Ina219Config(**{field: value})
+
+
+class TestIna219:
+    def test_offset_within_datasheet_bound(self):
+        for seed in range(30):
+            sensor = make_sensor(seed)
+            assert abs(sensor.offset_ma) <= 0.5
+
+    def test_gain_near_unity(self):
+        for seed in range(30):
+            sensor = make_sensor(seed)
+            assert 0.99 <= sensor.gain <= 1.01
+
+    def test_instances_have_distinct_errors(self):
+        offsets = {make_sensor(seed).offset_ma for seed in range(10)}
+        assert len(offsets) > 1
+
+    def test_reading_close_to_truth(self):
+        sensor = make_sensor(3)
+        readings = [sensor.measure_ma(100.0) for _ in range(200)]
+        # Mean error bounded by gain (1 mA) + offset (0.5 mA) + LSB.
+        assert abs(float(np.mean(readings)) - 100.0) < 2.0
+
+    def test_reading_quantised_to_lsb(self):
+        sensor = make_sensor(1, noise_std_ma=0.0)
+        lsb = sensor.config.lsb_ma
+        reading = sensor.measure_ma(123.4)
+        assert reading / lsb == pytest.approx(round(reading / lsb))
+
+    def test_zero_noise_zero_offset_zero_gain_is_exact_quantised(self):
+        sensor = make_sensor(5, noise_std_ma=0.0, offset_max_ma=0.0, gain_error_max=0.0)
+        lsb = sensor.config.lsb_ma
+        assert sensor.measure_ma(10 * lsb) == pytest.approx(10 * lsb)
+
+    def test_out_of_range_raises(self):
+        sensor = make_sensor()
+        with pytest.raises(SensorRangeError):
+            sensor.measure_ma(401.0)
+        with pytest.raises(SensorRangeError):
+            sensor.measure_ma(-401.0)
+
+    def test_reading_counter(self):
+        sensor = make_sensor()
+        for _ in range(5):
+            sensor.measure_ma(1.0)
+        assert sensor.readings_taken == 5
+
+    def test_shunt_drop(self):
+        sensor = make_sensor()
+        # 100 mA through 0.1 ohm drops 10 mV.
+        assert sensor.shunt_drop_v(100.0) == pytest.approx(0.01)
+
+    def test_offset_error_drives_bias(self):
+        # A sensor with pure offset reads truth + offset on average.
+        sensor = make_sensor(7, noise_std_ma=0.0, gain_error_max=0.0)
+        reading = sensor.measure_ma(200.0)
+        assert reading == pytest.approx(200.0 + sensor.offset_ma, abs=sensor.config.lsb_ma)
+
+
+class TestDs3231:
+    def test_ppm_within_bound(self):
+        for seed in range(30):
+            rtc = Ds3231Rtc(np.random.default_rng(seed))
+            assert abs(rtc.ppm) <= 2.0
+
+    def test_error_grows_linearly(self):
+        rtc = Ds3231Rtc(np.random.default_rng(0), aging_ppm_per_year=0.0)
+        e1 = rtc.error_at(3600.0)
+        e2 = rtc.error_at(7200.0)
+        assert e2 == pytest.approx(2 * e1, rel=1e-6)
+
+    def test_error_magnitude_after_an_hour(self):
+        rtc = Ds3231Rtc(np.random.default_rng(1), aging_ppm_per_year=0.0)
+        assert abs(rtc.error_at(3600.0)) <= 2.0 * 3600 * 1e-6 + 1e-12
+
+    def test_synchronize_zeroes_error(self):
+        rtc = Ds3231Rtc(np.random.default_rng(2))
+        rtc.synchronize(1000.0)
+        assert rtc.error_at(1000.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_synchronize_returns_correction(self):
+        rtc = Ds3231Rtc(np.random.default_rng(3), aging_ppm_per_year=0.0)
+        expected_error = rtc.error_at(500.0)
+        correction = rtc.synchronize(500.0)
+        assert correction == pytest.approx(-expected_error)
+
+    def test_read_before_sync_rejected(self):
+        rtc = Ds3231Rtc(np.random.default_rng(0))
+        rtc.synchronize(100.0)
+        with pytest.raises(HardwareError):
+            rtc.read(50.0)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            Ds3231Rtc(np.random.default_rng(0), ppm_max=-1.0)
+        with pytest.raises(ConfigError):
+            Ds3231Rtc(np.random.default_rng(0), aging_ppm_per_year=-0.1)

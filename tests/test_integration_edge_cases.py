@@ -1,0 +1,115 @@
+"""Edge-case integration tests: weak links, overflow, persistence, determinism."""
+
+import pytest
+
+from repro.chain import Blockchain, JsonlBlockStore
+from repro.device.stack import DeviceConfig
+from repro.experiments.validate import run_validation
+from repro.ids import DeviceId
+from repro.workloads.scenarios import build_paper_testbed
+
+
+class TestWeakLink:
+    def test_distant_device_still_fully_metered(self):
+        # 60 m from the AP: RSSI is marginal, QoS-1 retries carry it.
+        scenario = build_paper_testbed(seed=81, enter_devices=False)
+        scenario.enter_at("device1", "agg1", 0.0, distance_m=60.0)
+        scenario.run_until(25.0)
+        device = scenario.device("device1")
+        assert device.fsm.can_report
+        records = scenario.chain.records_for_device(device.device_id.uid)
+        # 10 Hz for ~19 reporting seconds, minus whatever is in flight.
+        assert len(records) > 150
+        scenario.chain.validate()
+
+    def test_very_weak_link_loses_little_energy(self):
+        scenario = build_paper_testbed(seed=82, enter_devices=False)
+        scenario.enter_at("device1", "agg1", 0.0, distance_m=60.0)
+        scenario.run_until(25.0)
+        device = scenario.device("device1")
+        ledger = scenario.chain.total_energy_mwh(device.device_id.uid)
+        # Everything measured is either in the ledger, buffered, or in flight.
+        assert ledger > 0.8 * device.meter.total_energy_mwh
+
+
+class TestStorageOverflow:
+    def test_long_outage_with_tiny_store_drops_oldest_observably(self):
+        config = DeviceConfig(storage_capacity=50)
+        scenario = build_paper_testbed(seed=83, device_config=config)
+        scenario.run_until(12.0)
+        device = scenario.device("device1")
+        device.drop_connection()
+        scenario.run_until(30.0)  # 18 s of 10 Hz -> 180 > 50 capacity
+        assert device.store.pending == 50
+        assert device.store.dropped_total > 100
+        device.reconnect()
+        scenario.run_until(40.0)
+        records = scenario.chain.records_for_device(device.device_id.uid)
+        # The newest ~5 s of the outage (50 records at 10 Hz) survive —
+        # reconnect takes ~1.5 s, evicting a few more of the oldest.
+        survived = [
+            r for r in records
+            if r["buffered"] and 26.5 < float(r["measured_at"]) < 31.5
+        ]
+        assert len(survived) >= 40
+        # The early outage span was evicted: nothing from it committed.
+        evicted_span = [
+            r for r in records if 13.0 < float(r["measured_at"]) < 20.0
+        ]
+        assert evicted_span == []
+
+
+class TestPersistence:
+    def test_scenario_with_jsonl_ledger_survives_reload(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        # Build a testbed whose chain writes through to disk.
+        scenario = build_paper_testbed(seed=84, enter_devices=False)
+        disk_chain = Blockchain(JsonlBlockStore(path), authorized=set())
+        # Swap the chain in before any block exists.
+        for unit in scenario.aggregators.values():
+            disk_chain.authorize(unit.aggregator_id.name)
+            unit._writer._chain = disk_chain
+        scenario.chain = disk_chain
+        scenario.enter_at("device1", "agg1", 0.0)
+        scenario.run_until(12.0)
+        height_live = disk_chain.height
+        assert height_live > 0
+
+        # A fresh process (new store instance) sees the same chain.
+        reloaded = Blockchain(JsonlBlockStore(path))
+        assert reloaded.height == height_live
+        reloaded.validate()
+        assert reloaded.tip_hash == disk_chain.tip_hash
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_ledger(self):
+        def run(seed):
+            scenario = build_paper_testbed(seed=seed)
+            scenario.run_until(15.0)
+            return [block.block_hash for block in scenario.chain]
+
+        assert run(99) == run(99)
+
+    def test_different_seed_different_ledger(self):
+        def run(seed):
+            scenario = build_paper_testbed(seed=seed)
+            scenario.run_until(10.0)
+            return scenario.chain.tip_hash
+
+        assert run(1) != run(2)
+
+    def test_mobility_run_deterministic(self):
+        from repro.experiments.fig6 import run_fig6
+
+        a = run_fig6(seed=5, phase1_s=10.0, idle_s=4.0, phase2_s=10.0)
+        b = run_fig6(seed=5, phase1_s=10.0, idle_s=4.0, phase2_s=10.0)
+        assert a.handshake_s == b.handshake_s
+        assert a.consumption_values == b.consumption_values
+
+
+class TestValidationHarness:
+    def test_all_self_checks_pass(self):
+        results = run_validation()
+        failing = [r for r in results if not r.passed]
+        assert not failing, failing

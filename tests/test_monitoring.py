@@ -1,0 +1,143 @@
+"""Tests for time series, dashboards and exports."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.monitoring import (
+    SeriesBank,
+    TimeSeries,
+    render_dashboard,
+    render_series,
+    series_to_csv,
+    series_to_json,
+)
+from repro.monitoring.dashboards import sparkline
+from repro.monitoring.export import export_bank
+
+
+def filled_series(n=10, step=1.0):
+    series = TimeSeries("test", "mA")
+    for i in range(n):
+        series.append(i * step, float(i))
+    return series
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        assert len(filled_series(5)) == 5
+
+    def test_times_must_be_non_decreasing(self):
+        series = TimeSeries("x")
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)  # equal is fine
+        with pytest.raises(ConfigError):
+            series.append(0.5, 3.0)
+
+    def test_window_half_open(self):
+        series = filled_series(10)
+        times, values = series.window(2.0, 5.0)
+        assert times == [2.0, 3.0, 4.0]
+        assert values == [2.0, 3.0, 4.0]
+
+    def test_mean_full_and_windowed(self):
+        series = filled_series(10)
+        assert series.mean() == pytest.approx(4.5)
+        assert series.mean(0.0, 2.0) == pytest.approx(0.5)
+
+    def test_mean_empty_is_zero(self):
+        assert TimeSeries("x").mean() == 0.0
+
+    def test_integrate_trapezoid(self):
+        series = TimeSeries("x")
+        for t in range(5):
+            series.append(float(t), 2.0)
+        assert series.integrate(0.0, 4.5) == pytest.approx(8.0)
+
+    def test_resample_buckets(self):
+        series = filled_series(10, step=0.5)  # t in [0, 4.5]
+        resampled = series.resample(1.0)
+        assert len(resampled) == 5
+        assert resampled.values[0] == pytest.approx(0.5)
+
+    def test_last_value(self):
+        assert filled_series(3).last_value() == 2.0
+        assert TimeSeries("x").last_value() is None
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            TimeSeries("")
+        with pytest.raises(ConfigError):
+            filled_series().resample(0.0)
+
+
+class TestSeriesBank:
+    def test_get_or_create(self):
+        bank = SeriesBank()
+        a = bank.series("a", "mA")
+        assert bank.series("a") is a
+        assert "a" in bank
+
+    def test_record_appends(self):
+        bank = SeriesBank()
+        bank.record("x", 1.0, 5.0)
+        bank.record("x", 2.0, 6.0)
+        assert len(bank["x"]) == 2
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(ConfigError):
+            SeriesBank()["missing"]
+
+    def test_names_in_creation_order(self):
+        bank = SeriesBank()
+        bank.record("b", 0.0, 0.0)
+        bank.record("a", 0.0, 0.0)
+        assert bank.names == ["b", "a"]
+
+
+class TestDashboards:
+    def test_sparkline_length_and_chars(self):
+        line = sparkline([float(i) for i in range(100)], width=40)
+        assert len(line) == 40
+
+    def test_sparkline_flat_series(self):
+        assert set(sparkline([5.0] * 10)) == {"▁"}
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == "(empty)"
+
+    def test_render_series_includes_stats(self):
+        text = render_series(filled_series())
+        assert "test" in text and "mean" in text and "mA" in text
+
+    def test_render_dashboard(self):
+        bank = SeriesBank()
+        bank.record("one", 0.0, 1.0)
+        bank.record("two", 0.0, 2.0)
+        text = render_dashboard(bank)
+        assert "one" in text and "two" in text
+
+    def test_render_empty_dashboard(self):
+        assert "no series" in render_dashboard(SeriesBank())
+
+
+class TestExport:
+    def test_csv_has_header_and_rows(self):
+        text = series_to_csv(filled_series(3))
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,value_mA"
+        assert len(lines) == 4
+
+    def test_json_roundtrip(self):
+        data = json.loads(series_to_json(filled_series(3)))
+        assert data["name"] == "test"
+        assert data["values"] == [0.0, 1.0, 2.0]
+
+    def test_export_bank_writes_files(self, tmp_path):
+        bank = SeriesBank()
+        bank.record("received:device1", 0.0, 1.0)
+        paths = export_bank(bank, tmp_path)
+        assert len(paths) == 1
+        assert paths[0].exists()
+        assert "received_device1" in paths[0].name

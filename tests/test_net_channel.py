@@ -1,0 +1,107 @@
+"""Tests for the wireless channel and Wi-Fi join models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError, ConfigError
+from repro.net import ChannelParams, WifiParams, WifiRadio, WirelessChannel
+
+
+def make_channel(seed=0, **overrides) -> WirelessChannel:
+    return WirelessChannel(ChannelParams(**overrides), np.random.default_rng(seed))
+
+
+class TestChannel:
+    def test_rssi_decreases_with_distance(self):
+        channel = make_channel(shadowing_sigma_db=0.0)
+        assert channel.rssi_dbm(1.0) > channel.rssi_dbm(10.0) > channel.rssi_dbm(100.0)
+
+    def test_rssi_at_reference(self):
+        channel = make_channel(shadowing_sigma_db=0.0)
+        # At 1 m: tx power minus reference loss.
+        assert channel.rssi_dbm(1.0) == pytest.approx(16.0 - 40.0)
+
+    def test_shadowing_adds_variance(self):
+        channel = make_channel(shadowing_sigma_db=4.0)
+        values = {channel.rssi_dbm(10.0) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_per_monotone_in_rssi(self):
+        channel = make_channel()
+        assert channel.packet_error_rate(-95.0) > channel.packet_error_rate(-80.0)
+
+    def test_per_midpoint(self):
+        channel = make_channel()
+        assert channel.packet_error_rate(-88.0) == pytest.approx(0.5)
+
+    def test_per_extremes_bounded(self):
+        channel = make_channel()
+        assert channel.packet_error_rate(-30.0) < 0.001
+        assert channel.packet_error_rate(-120.0) > 0.999
+
+    def test_strong_signal_rarely_loses(self):
+        channel = make_channel(1)
+        losses = sum(channel.packet_lost(-50.0) for _ in range(1000))
+        assert losses == 0
+
+    def test_airtime_scales_with_size(self):
+        channel = make_channel()
+        assert channel.airtime_s(1000) > channel.airtime_s(100)
+
+    def test_airtime_known_value(self):
+        channel = make_channel(phy_rate_mbps=6.0)
+        # 60 bytes overhead + 0 payload at 6 Mbps.
+        assert channel.airtime_s(0) == pytest.approx(480 / 6e6)
+
+    def test_invalid_inputs_rejected(self):
+        channel = make_channel()
+        with pytest.raises(ChannelError):
+            channel.rssi_dbm(0.0)
+        with pytest.raises(ChannelError):
+            channel.airtime_s(-1)
+        with pytest.raises(ConfigError):
+            ChannelParams(path_loss_exponent=0.0)
+        with pytest.raises(ConfigError):
+            ChannelParams(phy_rate_mbps=-1.0)
+
+
+class TestWifiRadio:
+    def make_radio(self, seed=0, **overrides) -> WifiRadio:
+        return WifiRadio(WifiParams(**overrides), np.random.default_rng(seed))
+
+    def test_scan_duration_matches_passes(self):
+        radio = self.make_radio()
+        duration = radio.scan_duration_s()
+        # Default: 3 passes x 13 channels x 0.110 s.
+        assert duration == pytest.approx(3 * 13 * 0.110)
+
+    def test_scan_passes_range_respected(self):
+        radio = self.make_radio(scan_passes_min=1, scan_passes_max=4)
+        per_pass = 13 * 0.110
+        for _ in range(50):
+            passes = radio.scan_duration_s() / per_pass
+            assert 1 <= round(passes) <= 4
+
+    def test_association_jitters_around_median(self):
+        radio = self.make_radio(1)
+        samples = [radio.association_duration_s() for _ in range(300)]
+        assert np.median(samples) == pytest.approx(1.2, rel=0.15)
+        assert min(samples) > 0
+
+    def test_zero_jitter_deterministic(self):
+        radio = self.make_radio(assoc_jitter_sigma=0.0)
+        assert radio.association_duration_s() == 1.2
+
+    def test_join_is_scan_plus_assoc_scale(self):
+        radio = self.make_radio(2)
+        join = radio.join_duration_s()
+        # Paper's T_handshake is ~6 s; the radio part alone is ~5.5 s.
+        assert 4.5 < join < 7.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            WifiParams(channels=0)
+        with pytest.raises(ConfigError):
+            WifiParams(scan_passes_min=3, scan_passes_max=2)
+        with pytest.raises(ConfigError):
+            WifiParams(assoc_latency_s=0.0)

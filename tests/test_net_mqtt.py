@@ -1,0 +1,171 @@
+"""Tests for the MQTT-like broker and client."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import ChannelParams, MqttBroker, MqttClient, QoS, WirelessChannel
+from repro.net.mqtt import topic_matches
+from repro.sim import Simulator
+
+
+def make_world(seed=0, **channel_overrides):
+    sim = Simulator(seed=seed)
+    channel = WirelessChannel(
+        ChannelParams(**channel_overrides), sim.rng.stream("channel")
+    )
+    broker = MqttBroker(sim, "broker")
+    client = MqttClient(sim, "client", channel)
+    return sim, channel, broker, client
+
+
+def connect(sim, broker, client, rssi=-50.0):
+    client.connect(broker, rssi)
+    sim.run_until(sim.now + 2.0)
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("a/b", "a/b", True),
+            ("a/b", "a/c", False),
+            ("a/+", "a/b", True),
+            ("a/+/c", "a/b/c", True),
+            ("a/+/c", "a/b/d", False),
+            ("a/#", "a/b/c/d", True),
+            ("#", "anything/at/all", True),
+            ("a/b", "a/b/c", False),
+            ("a/b/c", "a/b", False),
+            ("+/b", "a/b", True),
+        ],
+    )
+    def test_matching(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+    def test_hash_must_be_last(self):
+        with pytest.raises(NetworkError):
+            topic_matches("a/#/b", "a/x/b")
+
+
+class TestBroker:
+    def test_delivery_to_subscriber(self):
+        sim, _, broker, _ = make_world()
+        got = []
+        broker.subscribe("meter/+/report", lambda t, p: got.append((t, p)))
+        broker.deliver("meter/d1/report", b"hello")
+        sim.run()
+        assert got == [("meter/d1/report", b"hello")]
+
+    def test_delivery_is_delayed_not_immediate(self):
+        sim, _, broker, _ = make_world()
+        got = []
+        broker.subscribe("x", lambda t, p: got.append(sim.now))
+        broker.deliver("x", 1, after_s=0.5)
+        assert got == []
+        sim.run()
+        assert got[0] >= 0.5
+
+    def test_no_match_no_delivery(self):
+        sim, _, broker, _ = make_world()
+        got = []
+        broker.subscribe("a/b", lambda t, p: got.append(p))
+        broker.deliver("c/d", 1)
+        sim.run()
+        assert got == []
+        assert broker.messages_routed == 0
+
+    def test_multiple_subscribers(self):
+        sim, _, broker, _ = make_world()
+        got = []
+        broker.subscribe("x", lambda t, p: got.append("a"))
+        broker.subscribe("x", lambda t, p: got.append("b"))
+        broker.deliver("x", 1)
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_unsubscribe(self):
+        sim, _, broker, _ = make_world()
+        got = []
+        callback = lambda t, p: got.append(p)
+        broker.subscribe("x", callback)
+        broker.unsubscribe("x", callback)
+        broker.deliver("x", 1)
+        sim.run()
+        assert got == []
+
+    def test_unsubscribe_unknown_rejected(self):
+        _, _, broker, _ = make_world()
+        with pytest.raises(NetworkError):
+            broker.unsubscribe("x", lambda t, p: None)
+
+    def test_connect_duration_positive_and_jittered(self):
+        _, _, broker, _ = make_world()
+        samples = {broker.connect_duration_s() for _ in range(10)}
+        assert all(s > 0 for s in samples)
+        assert len(samples) > 1
+
+
+class TestClient:
+    def test_connect_then_publish(self):
+        sim, _, broker, client = make_world(shadowing_sigma_db=0.0)
+        got = []
+        broker.subscribe("t", lambda t, p: got.append(p))
+        connect(sim, broker, client)
+        assert client.connected
+        assert client.publish("t", b"data")
+        sim.run()
+        assert got == [b"data"]
+
+    def test_publish_while_disconnected_raises(self):
+        _, _, _, client = make_world()
+        with pytest.raises(NetworkError):
+            client.publish("t", b"x")
+
+    def test_disconnect(self):
+        sim, _, broker, client = make_world()
+        connect(sim, broker, client)
+        client.disconnect()
+        assert not client.connected
+
+    def test_connect_callback_fires_after_latency(self):
+        sim, _, broker, client = make_world()
+        times = []
+        client.connect(broker, -50.0, on_connected=lambda: times.append(sim.now))
+        sim.run()
+        assert len(times) == 1 and times[0] > 0
+
+    def test_qos1_retries_through_weak_link(self):
+        # At PER ~ 0.5, QoS 1 with 5 retries almost always gets through.
+        sim, _, broker, client = make_world(seed=3, shadowing_sigma_db=0.0)
+        got = []
+        broker.subscribe("t", lambda t, p: got.append(p))
+        connect(sim, broker, client, rssi=-88.0)
+        delivered = sum(
+            client.publish("t", i, qos=QoS.AT_LEAST_ONCE) for i in range(100)
+        )
+        sim.run()
+        assert delivered >= 95
+        assert client.stats["retransmissions"] > 0
+
+    def test_qos0_drops_on_weak_link(self):
+        sim, _, broker, client = make_world(seed=4, shadowing_sigma_db=0.0)
+        connect(sim, broker, client, rssi=-88.0)
+        delivered = sum(
+            client.publish("t", i, qos=QoS.AT_MOST_ONCE) for i in range(200)
+        )
+        assert 40 < delivered < 160  # PER ~ 0.5, no retries
+        assert client.stats["dropped"] > 0
+
+    def test_stats_counts(self):
+        sim, _, broker, client = make_world(shadowing_sigma_db=0.0)
+        connect(sim, broker, client)
+        client.publish("t", 1)
+        assert client.stats["published"] == 1
+
+    def test_invalid_client_params_rejected(self):
+        sim, channel, _, _ = make_world()
+        with pytest.raises(NetworkError):
+            MqttClient(sim, "bad", channel, max_retries=-1)
+        with pytest.raises(NetworkError):
+            MqttClient(sim, "bad", channel, retry_backoff_s=0.0)

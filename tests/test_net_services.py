@@ -1,0 +1,203 @@
+"""Tests for TDMA, time sync and the backhaul mesh."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BackhaulError, ConfigError, SlotAllocationError
+from repro.hw import Ds3231Rtc
+from repro.ids import AggregatorId, DeviceId
+from repro.net import BackhaulLink, BackhaulMesh, TdmaSchedule, TimeSyncService
+from repro.sim import Simulator
+
+
+class TestTdma:
+    def test_assign_lowest_free_slot(self):
+        schedule = TdmaSchedule(slot_count=4)
+        assert schedule.assign(DeviceId("a")) == 0
+        assert schedule.assign(DeviceId("b")) == 1
+
+    def test_assign_idempotent(self):
+        schedule = TdmaSchedule()
+        first = schedule.assign(DeviceId("a"))
+        assert schedule.assign(DeviceId("a")) == first
+
+    def test_release_recycles_slot(self):
+        schedule = TdmaSchedule(slot_count=2)
+        schedule.assign(DeviceId("a"))
+        schedule.assign(DeviceId("b"))
+        schedule.release(DeviceId("a"))
+        assert schedule.assign(DeviceId("c")) == 0
+
+    def test_capacity_limit(self):
+        # "With limited time-slots ... the number of devices connected to
+        # an aggregator is also limited."
+        schedule = TdmaSchedule(slot_count=2)
+        schedule.assign(DeviceId("a"))
+        schedule.assign(DeviceId("b"))
+        with pytest.raises(SlotAllocationError):
+            schedule.assign(DeviceId("c"))
+
+    def test_free_slots(self):
+        schedule = TdmaSchedule(slot_count=3)
+        assert schedule.free_slots == 3
+        schedule.assign(DeviceId("a"))
+        assert schedule.free_slots == 2
+
+    def test_slot_offset_and_duration(self):
+        schedule = TdmaSchedule(superframe_s=0.1, slot_count=10)
+        schedule.assign(DeviceId("a"))
+        schedule.assign(DeviceId("b"))
+        assert schedule.slot_duration_s == pytest.approx(0.01)
+        assert schedule.slot_offset_s(DeviceId("b")) == pytest.approx(0.01)
+
+    def test_next_slot_time_in_future(self):
+        schedule = TdmaSchedule(superframe_s=0.1, slot_count=10)
+        schedule.assign(DeviceId("a"))
+        schedule.assign(DeviceId("b"))
+        t = schedule.next_slot_time(DeviceId("b"), 0.05)
+        assert t >= 0.05
+        assert (t - 0.01) % 0.1 == pytest.approx(0.0, abs=1e-9)
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(SlotAllocationError):
+            TdmaSchedule().release(DeviceId("ghost"))
+
+    def test_offset_unknown_rejected(self):
+        with pytest.raises(SlotAllocationError):
+            TdmaSchedule().slot_offset_s(DeviceId("ghost"))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(SlotAllocationError):
+            TdmaSchedule(superframe_s=0.0)
+        with pytest.raises(SlotAllocationError):
+            TdmaSchedule(slot_count=0)
+
+
+class TestTimeSync:
+    def test_sync_bounds_residual_error(self):
+        sim = Simulator(seed=0)
+        service = TimeSyncService(sim, "sync", interval_s=10.0)
+        rtcs = [Ds3231Rtc(np.random.default_rng(i), ppm_max=2.0) for i in range(5)]
+        for i, rtc in enumerate(rtcs):
+            service.register_clock(f"dev{i}", rtc)
+        service.start()
+        sim.run_until(100.0)
+        # Residual error bounded by interval x ppm.
+        for rtc in rtcs:
+            assert abs(rtc.error_at(sim.now)) <= 10.0 * 2e-6 + 1e-9
+        assert service.rounds == 10
+
+    def test_sync_now_reports_correction(self):
+        sim = Simulator(seed=1)
+        service = TimeSyncService(sim, "sync")
+        rtc = Ds3231Rtc(np.random.default_rng(3))
+        service.register_clock("d", rtc)
+        sim.run_until(1000.0)
+        correction = service.sync_now()
+        assert correction > 0
+        assert service.sync_now() == pytest.approx(0.0, abs=1e-9)
+
+    def test_unregister_stops_discipline(self):
+        sim = Simulator()
+        service = TimeSyncService(sim, "sync", interval_s=1.0)
+        rtc = Ds3231Rtc(np.random.default_rng(4))
+        service.register_clock("d", rtc)
+        service.unregister_clock("d")
+        service.start()
+        sim.run_until(5.0)
+        assert service.last_max_correction_s == 0.0
+
+    def test_stop(self):
+        sim = Simulator()
+        service = TimeSyncService(sim, "sync", interval_s=1.0)
+        service.start()
+        service.stop()
+        sim.run_until(5.0)
+        assert service.rounds == 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            TimeSyncService(Simulator(), "sync", interval_s=0.0)
+
+
+class TestBackhaul:
+    def make_mesh(self, names=("a", "b", "c")):
+        sim = Simulator()
+        mesh = BackhaulMesh(sim)
+        inboxes = {name: [] for name in names}
+        for name in names:
+            mesh.add_aggregator(
+                AggregatorId(name),
+                lambda source, payload, n=name: inboxes[n].append((source, payload)),
+            )
+        return sim, mesh, inboxes
+
+    def test_direct_link_latency(self):
+        sim, mesh, inboxes = self.make_mesh()
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("b"), 0.001))
+        latency = mesh.send(AggregatorId("a"), AggregatorId("b"), "hi")
+        assert latency == pytest.approx(0.001)
+        sim.run()
+        assert inboxes["b"] == [(AggregatorId("a"), "hi")]
+
+    def test_paper_backhaul_delay_is_1ms(self):
+        _, mesh, _ = self.make_mesh()
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("b")))
+        assert mesh.latency_s(AggregatorId("a"), AggregatorId("b")) == pytest.approx(0.001)
+
+    def test_multi_hop_routing(self):
+        sim, mesh, inboxes = self.make_mesh()
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("b"), 0.001))
+        mesh.connect(BackhaulLink(AggregatorId("b"), AggregatorId("c"), 0.002))
+        latency = mesh.latency_s(AggregatorId("a"), AggregatorId("c"))
+        assert latency == pytest.approx(0.003 + 0.0002)  # links + per-hop cost
+        mesh.send(AggregatorId("a"), AggregatorId("c"), 1)
+        sim.run()
+        assert inboxes["c"]
+
+    def test_shortest_path_chosen(self):
+        _, mesh, _ = self.make_mesh()
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("b"), 0.010))
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("c"), 0.001))
+        mesh.connect(BackhaulLink(AggregatorId("c"), AggregatorId("b"), 0.001))
+        # Via c is cheaper despite the extra hop.
+        assert mesh.latency_s(AggregatorId("a"), AggregatorId("b")) < 0.010
+
+    def test_self_latency_zero(self):
+        _, mesh, _ = self.make_mesh()
+        assert mesh.latency_s(AggregatorId("a"), AggregatorId("a")) == 0.0
+
+    def test_no_path_rejected(self):
+        _, mesh, _ = self.make_mesh()
+        with pytest.raises(BackhaulError):
+            mesh.latency_s(AggregatorId("a"), AggregatorId("b"))
+
+    def test_unknown_destination_rejected(self):
+        _, mesh, _ = self.make_mesh()
+        with pytest.raises(BackhaulError):
+            mesh.send(AggregatorId("a"), AggregatorId("zz"), 1)
+
+    def test_broadcast_fans_out(self):
+        sim, mesh, inboxes = self.make_mesh()
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("b")))
+        mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("c")))
+        count = mesh.broadcast(AggregatorId("a"), "x")
+        sim.run()
+        assert count == 2
+        assert inboxes["b"] and inboxes["c"] and not inboxes["a"]
+
+    def test_duplicate_aggregator_rejected(self):
+        _, mesh, _ = self.make_mesh()
+        with pytest.raises(BackhaulError):
+            mesh.add_aggregator(AggregatorId("a"), lambda s, p: None)
+
+    def test_link_validation(self):
+        with pytest.raises(BackhaulError):
+            BackhaulLink(AggregatorId("a"), AggregatorId("a"))
+        with pytest.raises(BackhaulError):
+            BackhaulLink(AggregatorId("a"), AggregatorId("b"), latency_s=0.0)
+
+    def test_link_to_unknown_node_rejected(self):
+        _, mesh, _ = self.make_mesh(names=("a",))
+        with pytest.raises(BackhaulError):
+            mesh.connect(BackhaulLink(AggregatorId("a"), AggregatorId("zz")))

@@ -1,0 +1,120 @@
+"""Property-based tests for the blockchain substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import Block, Blockchain, InMemoryBlockStore, MerkleTree, audit_chain
+from repro.chain.hashing import canonical_bytes, hash_value
+
+# JSON-compatible scalars that serialise canonically (no NaN/inf).
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+records = st.lists(
+    st.dictionaries(st.text(min_size=1, max_size=8), scalars, max_size=5),
+    max_size=12,
+)
+
+
+class TestCanonicalHashing:
+    @given(st.dictionaries(st.text(min_size=1, max_size=6), scalars, max_size=8))
+    def test_hash_independent_of_insertion_order(self, mapping):
+        reordered = dict(reversed(list(mapping.items())))
+        assert hash_value(mapping) == hash_value(reordered)
+
+    @given(scalars, scalars)
+    def test_distinct_scalars_distinct_bytes(self, a, b):
+        if a != b or (a == b and type(a) is not type(b) and not (
+            isinstance(a, (int, float)) and isinstance(b, (int, float))
+        )):
+            if a != b:
+                assert canonical_bytes({"v": a}) != canonical_bytes({"v": b})
+
+
+class TestMerkleProperties:
+    @given(records)
+    def test_every_proof_verifies(self, record_list):
+        tree = MerkleTree(record_list)
+        for i, record in enumerate(record_list):
+            assert MerkleTree.verify_proof(record, tree.proof(i), tree.root)
+
+    @given(records, st.integers(min_value=0, max_value=11))
+    def test_mutated_leaf_fails_proof(self, record_list, index):
+        if not record_list:
+            return
+        index %= len(record_list)
+        tree = MerkleTree(record_list)
+        proof = tree.proof(index)
+        forged = dict(record_list[index]) if isinstance(record_list[index], dict) else {}
+        forged["__forged__"] = True
+        assert not MerkleTree.verify_proof(forged, proof, tree.root)
+
+    @given(records)
+    def test_root_deterministic(self, record_list):
+        assert MerkleTree(record_list).root == MerkleTree(record_list).root
+
+    @given(records)
+    def test_proof_length_logarithmic(self, record_list):
+        tree = MerkleTree(record_list)
+        n = max(1, len(record_list))
+        bound = max(1, n.bit_length())
+        for i in range(len(record_list)):
+            assert len(tree.proof(i)) <= bound
+
+
+class TestChainProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(records, min_size=1, max_size=6))
+    def test_append_then_validate_always_clean(self, blocks):
+        chain = Blockchain()
+        for i, batch in enumerate(blocks):
+            chain.append("agg1", float(i), batch)
+        chain.validate()
+        assert audit_chain(chain).clean
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(records, min_size=2, max_size=6),
+        st.data(),
+    )
+    def test_any_record_mutation_detected(self, blocks, data):
+        store = InMemoryBlockStore()
+        chain = Blockchain(store)
+        for i, batch in enumerate(blocks):
+            chain.append("agg1", float(i), batch)
+        # Pick any block and mutate its record list.
+        height = data.draw(st.integers(min_value=0, max_value=chain.height - 1))
+        victim = store.get(height)
+        forged_records = list(victim.records) + [{"__forged__": True}]
+        store.tamper(
+            height, Block(victim.header, tuple(forged_records), victim.block_hash)
+        )
+        report = audit_chain(chain)
+        assert not report.clean
+        assert height in report.invalid_blocks
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(records, min_size=2, max_size=5), st.data())
+    def test_rehashed_mutation_breaks_downstream_link(self, blocks, data):
+        store = InMemoryBlockStore()
+        chain = Blockchain(store)
+        for i, batch in enumerate(blocks):
+            chain.append("agg1", float(i), batch)
+        height = data.draw(st.integers(min_value=0, max_value=chain.height - 2))
+        victim = store.get(height)
+        forged = Block.create(
+            height=height,
+            previous_hash=victim.header.previous_hash,
+            aggregator=victim.header.aggregator,
+            timestamp=victim.header.timestamp,
+            records=list(victim.records) + [{"__forged__": True}],
+        )
+        store.tamper(height, forged)
+        report = audit_chain(chain)
+        assert not report.clean
+        # The next block's previous-hash no longer matches.
+        assert height + 1 in report.broken_links

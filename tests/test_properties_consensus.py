@@ -1,0 +1,77 @@
+"""Property-based safety tests for both consensus implementations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import (
+    Blockchain,
+    NetworkedPoaConsensus,
+    NetworkedValidator,
+    PoaConsensus,
+    Validator,
+)
+from repro.ids import AggregatorId
+from repro.net import BackhaulLink, BackhaulMesh
+from repro.sim import Simulator
+
+RECORDS = [{"device": "d", "device_uid": "u", "sequence": 0,
+            "measured_at": 0.0, "energy_mwh": 0.1}]
+
+
+class TestSynchronousConsensusSafety:
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=12))
+    def test_commit_iff_strict_quorum(self, votes):
+        """For any validator honesty pattern, a block commits exactly
+        when accepts strictly exceed 2/3 of the committee."""
+        validators = [
+            Validator(f"v{i}", check=(lambda accept: (lambda r: accept))(accept))
+            for i, accept in enumerate(votes)
+        ]
+        chain = Blockchain()
+        consensus = PoaConsensus(validators, chain)
+        committed, cast = consensus.propose(0.0, RECORDS)
+        accepts = sum(v.accept for v in cast)
+        assert accepts == sum(votes)
+        assert committed == (accepts > (2.0 / 3.0) * len(votes))
+        assert chain.height == (1 if committed else 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=20))
+    def test_chain_height_equals_committed_rounds(self, n_validators, n_rounds):
+        validators = [Validator(f"v{i}") for i in range(n_validators)]
+        chain = Blockchain()
+        consensus = PoaConsensus(validators, chain)
+        committed_count = 0
+        for r in range(n_rounds):
+            committed, _ = consensus.propose(float(r), RECORDS)
+            committed_count += committed
+        assert chain.height == committed_count
+        chain.validate()
+
+
+class TestNetworkedConsensusSafety:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.booleans(), min_size=2, max_size=7))
+    def test_networked_commit_iff_quorum(self, votes):
+        sim = Simulator(seed=0)
+        mesh = BackhaulMesh(sim)
+        chain = Blockchain(authorized=set())
+        validators = [
+            NetworkedValidator(
+                sim, AggregatorId(f"v{i}"), mesh,
+                check=(lambda accept: (lambda r: accept))(accept),
+            )
+            for i, accept in enumerate(votes)
+        ]
+        for i, a in enumerate(validators):
+            for b in validators[i + 1:]:
+                mesh.connect(BackhaulLink(a.node_id, b.node_id, latency_s=0.001))
+        consensus = NetworkedPoaConsensus(sim, validators, chain)
+        outcomes = []
+        consensus.propose(RECORDS, lambda ok, lat: outcomes.append(ok))
+        sim.run()
+        accepts = sum(votes)
+        expected = accepts > (2.0 / 3.0) * len(votes)
+        assert outcomes == [expected]
+        assert chain.height == (1 if expected else 0)

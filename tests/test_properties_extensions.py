@@ -1,0 +1,118 @@
+"""Property-based tests for traces, attribution and receipts."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anomaly import DeviceAttributor
+from repro.chain import Blockchain, issue_receipt
+from repro.workloads import TraceProfile
+
+breakpoints = st.lists(
+    st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+).map(lambda deltas: [0.0] + [round(sum(deltas[: i + 1]), 6) for i in range(len(deltas))])
+
+currents = st.lists(
+    st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    min_size=2,
+    max_size=21,
+)
+
+
+class TestTraceProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(breakpoints, currents, st.floats(min_value=-10, max_value=500, allow_nan=False))
+    def test_value_is_always_a_breakpoint_current_or_zero(self, times, values, query):
+        n = min(len(times), len(values))
+        profile = TraceProfile(times[:n], values[:n])
+        result = profile(query)
+        assert result == 0.0 or result in values[:n]
+
+    @settings(max_examples=50, deadline=None)
+    @given(breakpoints, currents)
+    def test_csv_roundtrip_pointwise(self, times, values):
+        n = min(len(times), len(values))
+        profile = TraceProfile(times[:n], values[:n])
+        reloaded = TraceProfile.from_csv(profile.to_csv())
+        for i in range(n):
+            t = times[i]
+            assert reloaded(t) == profile(t)
+
+    @settings(max_examples=30, deadline=None)
+    @given(breakpoints, currents, st.floats(min_value=0, max_value=300, allow_nan=False))
+    def test_repeat_is_periodic(self, times, values, query):
+        n = min(len(times), len(values))
+        profile = TraceProfile(times[:n], values[:n], repeat=True)
+        span = profile.span_s
+        # Float modulo can land a query sitting (within ulps) on a
+        # breakpoint boundary on either side; skip those knife edges.
+        offset = query % span
+        edges = list(times[:n]) + [span]
+        if min(abs(offset - e) for e in edges) < 1e-6:
+            return
+        assert profile(query) == profile(query + span)
+
+
+class TestAttributionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=1.2, max_value=4.0, allow_nan=False),
+        st.integers(min_value=0, max_value=100),
+    )
+    def test_single_cheater_always_found(self, alpha, seed_offset):
+        """Whatever the fraud factor, the cheater tops the suspect list."""
+        attributor = DeviceAttributor(expected_loss_fraction=0.0, min_windows=40)
+        for t in range(80):
+            reported = {
+                "cheat": 30.0 + 20.0 * math.sin(2 * math.pi * (t + seed_offset) / 13.0),
+                "honest": 50.0 + 25.0 * math.sin(2 * math.pi * t / 7.0),
+            }
+            feeder = alpha * reported["cheat"] + reported["honest"]
+            attributor.add_window(reported, feeder)
+        result = attributor.estimate()
+        assert result.suspects and result.suspects[0] == "cheat"
+        assert abs(result.alphas["cheat"] - alpha) < 0.15
+        assert abs(result.alphas["honest"] - 1.0) < 0.1
+
+
+records_lists = st.lists(
+    st.dictionaries(
+        st.sampled_from(["device", "device_uid", "energy_mwh", "sequence"]),
+        st.one_of(st.text(max_size=6), st.integers(-100, 100)),
+        min_size=1,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+class TestReceiptProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(records_lists, st.data())
+    def test_every_issued_receipt_verifies(self, records, data):
+        chain = Blockchain()
+        chain.append("agg1", 0.0, records)
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        receipt = issue_receipt(chain, 0, index)
+        assert receipt.verify()
+        assert receipt.verify(chain)
+
+    @settings(max_examples=40, deadline=None)
+    @given(records_lists, st.data())
+    def test_altered_receipt_record_never_verifies(self, records, data):
+        chain = Blockchain()
+        chain.append("agg1", 0.0, records)
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        receipt = issue_receipt(chain, 0, index)
+        forged = type(receipt)(
+            block_height=receipt.block_height,
+            block_hash=receipt.block_hash,
+            merkle_root=receipt.merkle_root,
+            record={**receipt.record, "__forged__": 1},
+            proof=receipt.proof,
+        )
+        assert not forged.verify()

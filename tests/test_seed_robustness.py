@@ -1,0 +1,66 @@
+"""Seed robustness: the reproduced shapes hold across seeds.
+
+Each headline claim is re-checked over several master seeds — results
+must not be an artifact of one lucky seed.  Kept to a handful of seeds
+so the suite stays fast; the benches sweep further.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.hw.esp32 import McuState
+from repro.workloads.scenarios import build_paper_testbed
+
+SEEDS = (3, 17, 202)
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fig5_gap_positive_and_single_digit(self, seed):
+        result = run_fig5(seed=seed, duration_s=30.0, warmup_s=12.0)
+        assert result.mean_gap_pct > 0.5
+        assert result.max_gap_pct < 12.0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_handshake_in_band(self, seed):
+        result = run_fig6(seed=seed, phase1_s=12.0, idle_s=4.0, phase2_s=14.0)
+        assert 5.0 < result.handshake_s < 7.0
+        assert result.buffered_records > 0
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_honest_run_quiet_and_valid(self, seed):
+        scenario = build_paper_testbed(seed=seed)
+        scenario.run_until(20.0)
+        scenario.chain.validate()
+        for unit in scenario.aggregators.values():
+            assert unit.verifier.stats.reports_rejected == 0
+            stats = unit.verifier.stats
+            assert stats.network_anomalies <= 0.05 * max(1, stats.network_checks)
+
+
+class TestMcuPowerAccounting:
+    def test_tx_time_tracks_reports(self):
+        scenario = build_paper_testbed(seed=5)
+        scenario.run_until(20.0)
+        device = scenario.device("device1")
+        now = scenario.simulator.now
+        tx_time = device.mcu.time_in_state(McuState.WIFI_TX, now)
+        rx_time = device.mcu.time_in_state(McuState.WIFI_RX, now)
+        idle_time = device.mcu.time_in_state(McuState.IDLE, now)
+        # The radio states were actually visited: scanning at join (RX)
+        # and a TX dwell per transmitted report.
+        assert rx_time > 1.0  # the join scan
+        assert idle_time > 10.0
+        assert tx_time >= 0.0
+
+    def test_sleep_while_in_transit(self):
+        scenario = build_paper_testbed(seed=6, enter_devices=False)
+        device = scenario.device("device1")
+        scenario.enter_at("device1", "agg1", 0.0)
+        scenario.simulator.schedule(10.0, device.leave_network)
+        scenario.run_until(20.0)
+        sleep_time = device.mcu.time_in_state(
+            McuState.LIGHT_SLEEP, scenario.simulator.now
+        )
+        assert sleep_time == pytest.approx(10.0, abs=0.1)

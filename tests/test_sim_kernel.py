@@ -1,0 +1,254 @@
+"""Tests for the discrete-event kernel (clock, events, run loop)."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Event, EventQueue, SimClock, Simulator
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1.0)
+
+    def test_advance_forward(self):
+        clock = SimClock()
+        clock.advance_to(3.5)
+        assert clock.now == 3.5
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock()
+        clock.advance_to(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_backwards_rejected(self):
+        clock = SimClock()
+        clock.advance_to(2.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, lambda: order.append("b"))
+        queue.push(1.0, lambda: order.append("a"))
+        queue.push(3.0, lambda: order.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        queue = EventQueue()
+        events = [queue.push(1.0, lambda: None, label=str(i)) for i in range(5)]
+        popped = [queue.pop().label for _ in range(5)]
+        assert popped == [e.label for e in events]
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=5, label="low")
+        queue.push(1.0, lambda: None, priority=1, label="high")
+        assert queue.pop().label == "high"
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        victim = queue.push(1.0, lambda: None, label="victim")
+        queue.push(2.0, lambda: None, label="survivor")
+        victim.cancel()
+        assert queue.pop().label == "survivor"
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        victim = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        victim.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_peek_empty_is_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(1.0, lambda: None)
+        assert queue and len(queue) == 1
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(1.0, "not callable")
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_run_until_executes_due_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(3.0)
+        assert fired == [1.0]
+        assert sim.now == 3.0
+
+    def test_run_until_includes_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append(True))
+        sim.run_until(3.0)
+        assert fired == [True]
+
+    def test_run_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [0.5, 1.5, 2.5]
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        with pytest.raises(SchedulingError):
+            sim.schedule(1.5, lambda: None)
+
+    def test_nan_and_inf_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("nan"), lambda: None)
+        with pytest.raises(SchedulingError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_call_later_relative(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.call_later(0.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [1.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().call_later(-0.1, lambda: None)
+
+    def test_events_cascade(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.call_later(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(4.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.call_later(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0, max_events=100)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for t in range(5):
+            sim.schedule(float(t), lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+
+class TestPeriodicTask:
+    def test_fires_at_interval(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_first_at_override(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), first_at=0.25)
+        sim.run_until(2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_halts_firing(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_is_idempotent(self):
+        sim = Simulator()
+        task = sim.every(1.0, lambda: None)
+        task.stop()
+        task.stop()
+
+    def test_reschedule_changes_interval(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.5, lambda: task.reschedule(2.0))
+        sim.run_until(6.0)
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
+
+    def test_bad_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.every(0.0, lambda: None)
+        task = sim.every(1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            task.reschedule(-1.0)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def run():
+            sim = Simulator(seed=42)
+            values = []
+            rng = sim.rng.stream("x")
+
+            def tick():
+                values.append(float(rng.random()))
+
+            sim.every(0.1, tick)
+            sim.run_until(1.0)
+            return values
+
+        assert run() == run()
+
+    def test_new_stream_does_not_shift_existing(self):
+        sim1 = Simulator(seed=7)
+        a1 = sim1.rng.stream("a").random(5).tolist()
+
+        sim2 = Simulator(seed=7)
+        sim2.rng.stream("b")  # extra consumer
+        a2 = sim2.rng.stream("a").random(5).tolist()
+        assert a1 == a2

@@ -1,0 +1,119 @@
+"""Tests for RNG streams, tracing and the Process base class."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import Process, RngStreams, Simulator, TraceRecorder
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RngStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_different_names_independent(self):
+        streams = RngStreams(0)
+        a = streams.stream("a").random(4).tolist()
+        b = streams.stream("b").random(4).tolist()
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(123).stream("sensor").random(8).tolist()
+        b = RngStreams(123).stream("sensor").random(8).tolist()
+        assert a == b
+
+    def test_master_seed_changes_streams(self):
+        a = RngStreams(1).stream("x").random(4).tolist()
+        b = RngStreams(2).stream("x").random(4).tolist()
+        assert a != b
+
+    def test_fork_is_deterministic_and_distinct(self):
+        base = RngStreams(9)
+        fork_a = base.fork("run-1").stream("x").random(4).tolist()
+        fork_a2 = RngStreams(9).fork("run-1").stream("x").random(4).tolist()
+        fork_b = base.fork("run-2").stream("x").random(4).tolist()
+        assert fork_a == fork_a2
+        assert fork_a != fork_b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            RngStreams(0).stream("")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            RngStreams(-1)
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "a", "x")
+        recorder.record(2.0, "b", "y")
+        assert [r.category for r in recorder] == ["a", "b"]
+
+    def test_by_category_and_actor(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "a", "x", value=1)
+        recorder.record(2.0, "a", "y")
+        recorder.record(3.0, "b", "x")
+        assert len(recorder.by_category("a")) == 2
+        assert len(recorder.by_actor("x")) == 2
+
+    def test_between_half_open(self):
+        recorder = TraceRecorder()
+        for t in (1.0, 2.0, 3.0):
+            recorder.record(t, "c", "x")
+        assert [r.time for r in recorder.between(1.0, 3.0)] == [1.0, 2.0]
+
+    def test_first_and_last(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "c", "x", n=1)
+        recorder.record(2.0, "c", "x", n=2)
+        assert recorder.first("c").detail["n"] == 1
+        assert recorder.last("c").detail["n"] == 2
+        assert recorder.first("missing") is None
+        assert recorder.last("missing") is None
+
+    def test_disabled_records_nothing(self):
+        recorder = TraceRecorder(enabled=False)
+        recorder.record(1.0, "c", "x")
+        assert len(recorder) == 0
+
+    def test_category_filter(self):
+        recorder = TraceRecorder(categories=["keep"])
+        recorder.record(1.0, "keep", "x")
+        recorder.record(2.0, "drop", "x")
+        assert len(recorder) == 1
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "c", "x")
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestProcess:
+    def test_process_rng_is_namespaced(self):
+        sim = Simulator(seed=0)
+        p1 = Process(sim, "p1")
+        p2 = Process(sim, "p2")
+        assert p1.rng().random(3).tolist() != p2.rng().random(3).tolist()
+
+    def test_process_trace_carries_actor_and_time(self):
+        sim = Simulator()
+        proc = Process(sim, "me")
+        sim.schedule(1.5, lambda: proc.trace("cat", key="v"))
+        sim.run()
+        record = sim.trace.first("cat")
+        assert record.actor == "me"
+        assert record.time == 1.5
+        assert record.detail == {"key": "v"}
+
+    def test_now_follows_clock(self):
+        sim = Simulator()
+        proc = Process(sim, "p")
+        sim.run_until(2.0)
+        assert proc.now == 2.0
+
+    def test_repr_contains_name(self):
+        assert "p" in repr(Process(Simulator(), "p"))

@@ -1,0 +1,51 @@
+"""Tests for the sweep helper."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweeps import grid, sweep
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        points = grid(a=[1, 2], b=["x", "y"])
+        assert len(points) == 4
+        assert {"a": 2, "b": "y"} in points
+
+    def test_single_axis(self):
+        assert grid(a=[1]) == [{"a": 1}]
+
+    def test_order_is_row_major(self):
+        points = grid(a=[1, 2], b=[10, 20])
+        assert points[0] == {"a": 1, "b": 10}
+        assert points[1] == {"a": 1, "b": 20}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            grid()
+
+
+class TestSweep:
+    def test_parameters_then_results(self):
+        def run(x):
+            return {"double": 2 * x, "square": x * x}
+
+        headers, rows = sweep(run, grid(x=[2, 3]))
+        assert headers == ["x", "double", "square"]
+        assert rows == [[2, 4, 4], [3, 6, 9]]
+
+    def test_column_selection_and_order(self):
+        def run(x):
+            return {"a": 1, "b": 2, "c": 3}
+
+        headers, rows = sweep(run, grid(x=[0]), columns=["c", "a"])
+        assert headers == ["x", "c", "a"]
+        assert rows == [[0, 3, 1]]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            sweep(lambda x: {"y": x}, [])
+        with pytest.raises(ExperimentError):
+            sweep(lambda **kw: {"y": 1}, [{"a": 1}, {"b": 2}])
+        with pytest.raises(ExperimentError):
+            sweep(lambda x: x, grid(x=[1]))  # not a dict
