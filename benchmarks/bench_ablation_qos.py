@@ -12,7 +12,6 @@ transmissions than QoS 1's bounded retries.
 from repro.device.stack import DeviceConfig
 from repro.experiments.report import render_table
 from repro.experiments.sweeps import grid, sweep
-from repro.ids import DeviceId
 from repro.net.mqtt import QoS
 from repro.workloads.scenarios import build_paper_testbed
 

@@ -7,7 +7,6 @@ case for straddling — and (b) a fraudulent run, verifying that larger K
 removes false positives without losing the fraud.
 """
 
-from repro.aggregator.unit import AggregatorConfig
 from repro.anomaly import ScalingAttack
 from repro.experiments.report import render_table
 from repro.experiments.sweeps import grid, sweep

@@ -7,7 +7,7 @@ attack strengths, and the estimator's cost.
 
 import pytest
 
-from repro.anomaly import DeviceAttributor, ScalingAttack
+from repro.anomaly import ScalingAttack
 from repro.experiments.report import render_table
 from repro.workloads.scenarios import build_paper_testbed
 

@@ -9,8 +9,6 @@ simulation cost.
 
 import time
 
-from repro.ids import DeviceId
-from repro.workloads.mobility import MobilityTrace
 from repro.workloads.scenarios import build_scaled_scenario
 
 

@@ -7,7 +7,6 @@ proposer for two phases of O(n^2) traffic.  This bench measures all
 three on the same mesh and proves the Byzantine case behaves.
 """
 
-import numpy as np
 import pytest
 
 from repro.chain import Blockchain, NetworkedPoaConsensus, NetworkedValidator

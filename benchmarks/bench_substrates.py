@@ -7,7 +7,7 @@ paper-scale experiments run in seconds.
 
 from repro.chain.hashing import hash_value
 from repro.chain.merkle import MerkleTree
-from repro.net import ChannelParams, MqttBroker, MqttClient, WirelessChannel
+from repro.net import ChannelParams, MqttBroker, WirelessChannel
 from repro.sim import Simulator
 
 RECORD = {

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ProtocolError
+from repro.faults.retry import RetryPolicy, RetryTimer
 from repro.ids import AggregatorId, DeviceId
 from repro.net.backhaul import BackhaulMesh
 from repro.protocol.messages import (
@@ -35,8 +36,19 @@ class RoamingStats:
 
     verify_requests_sent: int = 0
     verify_requests_answered: int = 0
+    verify_retries: int = 0
+    verify_timeouts: int = 0
+    verify_responses_late: int = 0
     reports_forwarded: int = 0
     forwarded_received: int = 0
+
+
+@dataclass
+class _PendingVerify:
+    """One in-flight verify conversation (callback + its retry timer)."""
+
+    callback: VerifyCallback
+    timer: RetryTimer | None = None
 
 
 class RoamingLiaison:
@@ -45,12 +57,22 @@ class RoamingLiaison:
     Args:
         aggregator_id: The owning aggregator.
         mesh: The backhaul network.
+        retry: Verify-request retry/timeout policy.  ``None`` disables
+            expiry (a master that never answers then leaks the pending
+            entry — legacy behaviour, kept only for isolated tests).
     """
 
-    def __init__(self, aggregator_id: AggregatorId, mesh: BackhaulMesh) -> None:
+    def __init__(
+        self,
+        aggregator_id: AggregatorId,
+        mesh: BackhaulMesh,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self._aggregator_id = aggregator_id
         self._mesh = mesh
-        self._pending_verifies: dict[DeviceId, VerifyCallback] = {}
+        self._retry = retry
+        self._pending_verifies: dict[DeviceId, _PendingVerify] = {}
+        self._expired_verifies: set[DeviceId] = set()
         self.stats = RoamingStats()
 
     @property
@@ -71,20 +93,71 @@ class RoamingLiaison:
         claimed_master: AggregatorId,
         on_verdict: VerifyCallback,
     ) -> None:
-        """Ask ``claimed_master`` to vouch for ``device_id``."""
-        if device_id in self._pending_verifies:
+        """Ask ``claimed_master`` to vouch for ``device_id``.
+
+        With a retry policy, an unanswered request is re-sent with
+        exponential backoff; once the attempt budget is spent the
+        pending entry expires with a synthesized negative verdict (the
+        registration fails closed) instead of leaking forever.
+        """
+        pending = self._pending_verifies.get(device_id)
+        if pending is not None:
             # A re-sent registration while the first verify is in flight:
             # keep the newest callback.
-            self._pending_verifies[device_id] = on_verdict
+            pending.callback = on_verdict
             return
-        self._pending_verifies[device_id] = on_verdict
+        self._expired_verifies.discard(device_id)
         request = MembershipVerifyRequest(
             device_id=device_id,
             claimed_master=claimed_master,
             host=self._aggregator_id,
         )
+
+        def _resend() -> None:
+            self.stats.verify_retries += 1
+            self._mesh.send(self._aggregator_id, claimed_master, request)
+            self.stats.verify_requests_sent += 1
+
+        def _give_up() -> None:
+            self._expire_verify(device_id, claimed_master)
+
+        pending = _PendingVerify(callback=on_verdict)
+        if self._retry is not None:
+            pending.timer = RetryTimer(
+                self._mesh.sim,
+                self._retry,
+                attempt_fn=_resend,
+                on_give_up=_give_up,
+                rng=self._mesh.sim.rng.stream(
+                    f"{self._aggregator_id.name}:verify-retry"
+                ),
+                label=f"{self._aggregator_id.name}:verify:{device_id.name}",
+            )
+        self._pending_verifies[device_id] = pending
         self._mesh.send(self._aggregator_id, claimed_master, request)
         self.stats.verify_requests_sent += 1
+        if pending.timer is not None:
+            pending.timer.arm()
+
+    def _expire_verify(self, device_id: DeviceId, claimed_master: AggregatorId) -> None:
+        """Give up on a verify the master never answered."""
+        pending = self._pending_verifies.pop(device_id, None)
+        if pending is None:
+            return
+        self.stats.verify_timeouts += 1
+        self._expired_verifies.add(device_id)
+        self._mesh.trace(
+            "roaming.verify_timeout",
+            device=device_id.name,
+            master=claimed_master.name,
+        )
+        # Fail closed: the registration is answered negatively so the
+        # device gets its Nack instead of waiting forever.
+        pending.callback(
+            MembershipVerifyResponse(
+                device_id=device_id, master=claimed_master, valid=False
+            )
+        )
 
     def forward_report(self, report: ConsumptionReport, master: AggregatorId) -> None:
         """Send an accepted roaming report home as a cost center."""
@@ -96,14 +169,25 @@ class RoamingLiaison:
         self.stats.reports_forwarded += 1
 
     def handle_verify_response(self, response: MembershipVerifyResponse) -> None:
-        """Dispatch an arriving verdict to the waiting registration."""
-        callback = self._pending_verifies.pop(response.device_id, None)
-        if callback is None:
+        """Dispatch an arriving verdict to the waiting registration.
+
+        A verdict landing after its request already expired is counted
+        and ignored (the negative verdict was already delivered); a
+        verdict that was never requested is a protocol violation.
+        """
+        pending = self._pending_verifies.pop(response.device_id, None)
+        if pending is None:
+            if response.device_id in self._expired_verifies:
+                self._expired_verifies.discard(response.device_id)
+                self.stats.verify_responses_late += 1
+                return
             raise ProtocolError(
                 f"unsolicited verify response for {response.device_id} "
                 f"at {self._aggregator_id}"
             )
-        callback(response)
+        if pending.timer is not None:
+            pending.timer.settle()
+        pending.callback(response)
 
     # -- master side ---------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.aggregator.roaming import RoamingLiaison
 from repro.aggregator.verification import ReportVerifier, VerificationPolicy
 from repro.chain.ledger import Blockchain
 from repro.errors import ChainError, ConfigError, ProtocolError, SlotAllocationError
+from repro.faults.retry import RetryPolicy
 from repro.grid.meter import FeederMeter
 from repro.grid.topology import GridNetwork
 from repro.hw.rpi import RaspberryPi
@@ -67,6 +68,8 @@ class AggregatorConfig:
             windows suppresses that skew while persistent manipulation
             still accumulates.
         verification: Report/network screen policy.
+        verify_retry: Timeout/backoff policy for backhaul membership
+            verifies (None leaves unanswered verifies pending forever).
     """
 
     t_measure_s: float = 0.1
@@ -77,6 +80,7 @@ class AggregatorConfig:
     timesync_interval_s: float = 60.0
     residual_check_windows: int = 5
     verification: VerificationPolicy = field(default_factory=VerificationPolicy)
+    verify_retry: RetryPolicy | None = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.t_measure_s <= 0:
@@ -131,12 +135,17 @@ class AggregatorUnit(Process):
         self._aggregation = ReportAggregator(self._config.t_measure_s)
         self._verifier = ReportVerifier(self._config.verification)
         self._writer = LedgerWriter(chain, aggregator_id.name)
-        self._liaison = RoamingLiaison(aggregator_id, mesh)
+        self._liaison = RoamingLiaison(
+            aggregator_id, mesh, retry=self._config.verify_retry
+        )
         self._timesync = TimeSyncService(
             simulator, f"{aggregator_id.name}-timesync", self._config.timesync_interval_s
         )
         self._bank = SeriesBank()
         self._started = False
+        self._down = False
+        self._mesh = mesh
+        self._duties: list[Any] = []
         self._acks_sent = 0
         self._nacks_sent = 0
         self._last_checked_window_start = -1.0
@@ -227,14 +236,29 @@ class AggregatorUnit(Process):
         if self._started:
             return
         self._started = True
-        self.sim.every(self._config.t_measure_s, self._feeder_tick, label=f"{self.name}:feeder")
-        self.sim.every(self._config.block_interval_s, self._flush_block, label=f"{self.name}:block")
-        self.sim.every(
-            self._config.temp_member_timeout_s / 2.0,
-            self._expire_temporaries,
-            label=f"{self.name}:expiry",
-        )
+        self._arm_duties()
+
+    def _arm_duties(self) -> None:
+        self._duties = [
+            self.sim.every(
+                self._config.t_measure_s, self._feeder_tick, label=f"{self.name}:feeder"
+            ),
+            self.sim.every(
+                self._config.block_interval_s, self._flush_block, label=f"{self.name}:block"
+            ),
+            self.sim.every(
+                self._config.temp_member_timeout_s / 2.0,
+                self._expire_temporaries,
+                label=f"{self.name}:expiry",
+            ),
+        ]
         self._timesync.start()
+
+    def _stop_duties(self) -> None:
+        for task in self._duties:
+            task.stop()
+        self._duties = []
+        self._timesync.stop()
 
     # -- device-facing messaging -------------------------------------------
 
@@ -537,6 +561,40 @@ class AggregatorUnit(Process):
         self._note_membership_change()
         self._send_to_device(device_id, RemoveDevice(device_id))
         self.trace("agg.device_removed", device=device_id.name)
+
+    @property
+    def down(self) -> bool:
+        """Whether the unit is currently crashed (fault injection)."""
+        return self._down
+
+    def crash_for(self, outage_s: float) -> None:
+        """Crash the whole unit for ``outage_s``, then restart it.
+
+        During the outage the broker drops every message (devices'
+        reports go unanswered and buffer locally via their retry path)
+        and the mesh loses anything addressed to or from this node.  The
+        restart runs :meth:`simulate_crash_restart` — volatile state is
+        gone, the ledger survives — and re-arms the periodic duties.
+        """
+        if outage_s <= 0:
+            raise ConfigError(f"outage must be positive, got {outage_s}")
+        if self._down:
+            raise ProtocolError(f"{self.name} is already down")
+        self._down = True
+        self._broker.set_down(True)
+        self._mesh.set_node_down(self._aggregator_id, True)
+        if self._started:
+            self._stop_duties()
+        self.trace("agg.crashed", outage_s=outage_s)
+        self.sim.call_later(outage_s, self._restart, label=f"{self.name}:restart")
+
+    def _restart(self) -> None:
+        self._down = False
+        self.simulate_crash_restart()
+        self._broker.set_down(False)
+        self._mesh.set_node_down(self._aggregator_id, False)
+        if self._started:
+            self._arm_duties()
 
     def simulate_crash_restart(self) -> None:
         """Aggregator process restart: volatile state gone, ledger kept.

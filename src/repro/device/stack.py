@@ -22,6 +22,7 @@ from repro.device.firmware import Firmware
 from repro.device.metering import EnergyMeter, Measurement
 from repro.device.storage import LocalStore
 from repro.errors import ConfigError, ProtocolError
+from repro.faults.retry import RetryPolicy
 from repro.grid.topology import GridTopology
 from repro.hw.ds3231 import Ds3231Rtc
 from repro.hw.esp32 import Esp32Mcu, McuState
@@ -91,6 +92,12 @@ class DeviceConfig:
         flush_batch: Buffered records flushed per transmission slot.
         registration_retry_s: Backoff before re-requesting membership
             after a NETWORK_FULL refusal.
+        retry: Ack-timeout/backoff policy for the report path.  An
+            in-flight report whose Ack never arrives re-enters the local
+            store and is flushed again after a jittered exponential
+            backoff, up to the policy's attempt budget.  ``None``
+            restores the legacy behaviour (unacknowledged reports are
+            lost with the session).
     """
 
     t_measure_s: float = 0.1
@@ -101,6 +108,7 @@ class DeviceConfig:
     report_qos: QoS = QoS.AT_LEAST_ONCE
     flush_batch: int = 64
     registration_retry_s: float = 5.0
+    retry: RetryPolicy | None = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.t_measure_s <= 0:
@@ -189,8 +197,14 @@ class MeteringDevice(Process):
         self._handshakes: list[HandshakeRecord] = []
         self._acked_sequences: set[int] = set()
         self._inflight: dict[int, ConsumptionReport] = {}
+        self._report_attempts: dict[int, int] = {}
         self._reports_sent = 0
         self._reports_buffered = 0
+        self._report_timeouts = 0
+        self._retry_exhausted = 0
+        self._flush_retries = 0
+        self._registration_timeouts = 0
+        self._reg_watchdog: Any | None = None
         self._receipts: dict[int, "InclusionReceipt | None"] = {}
 
     # -- introspection ---------------------------------------------------
@@ -246,6 +260,11 @@ class MeteringDevice(Process):
         return self._handshakes[-1] if self._handshakes else None
 
     @property
+    def sequences_issued(self) -> int:
+        """Distinct report sequences ever built (one per measurement)."""
+        return self._sequence
+
+    @property
     def reports_sent(self) -> int:
         """Reports handed to MQTT (live + flushed)."""
         return self._reports_sent
@@ -259,6 +278,24 @@ class MeteringDevice(Process):
     def acked_count(self) -> int:
         """Distinct report sequences acknowledged by aggregators."""
         return len(self._acked_sequences)
+
+    @property
+    def retry_stats(self) -> dict[str, int]:
+        """Report-path resilience counters.
+
+        ``report_timeouts``: in-flight reports whose Ack never came and
+        that re-entered the store; ``flush_retries``: backoff-scheduled
+        flush attempts; ``retry_exhausted``: reports whose active retry
+        budget ran out (they stay parked in the store and ride later
+        flushes); ``registration_timeouts``: registration rounds resent
+        because no response (Ack or Nack) ever arrived.
+        """
+        return {
+            "report_timeouts": self._report_timeouts,
+            "flush_retries": self._flush_retries,
+            "retry_exhausted": self._retry_exhausted,
+            "registration_timeouts": self._registration_timeouts,
+        }
 
     def true_current_ma(self, at_time: float) -> float:
         """Ground-truth terminal current: load profile + MCU draw."""
@@ -368,7 +405,7 @@ class MeteringDevice(Process):
         self._grid.detach(self._device_id)
         self._firmware.stop()
         self._fsm.network_left()
-        self._inflight.clear()
+        self._recover_inflight()
         self.trace("device.leave_network", network=self._current_ap.aggregator_id.name)
         self._current_ap = None
         self._mcu.set_state(McuState.LIGHT_SLEEP, self.now)
@@ -393,7 +430,7 @@ class MeteringDevice(Process):
         self._client.disconnect()
         # Sync runs over the network; no connection, no discipline.
         self._current_ap.timesync.unregister_clock(self.name)
-        self._inflight.clear()
+        self._recover_inflight()
         self.trace("device.connection_lost")
 
     def reconnect(self) -> None:
@@ -489,10 +526,68 @@ class MeteringDevice(Process):
             # Remember until Ack'd so a NOT_A_MEMBER Nack (foreign
             # network) can re-buffer the data instead of losing it.
             self._inflight[report.sequence] = report
+            if self._config.retry is not None:
+                sequence = report.sequence
+                self.sim.call_later(
+                    self._config.retry.timeout_s,
+                    lambda: self._on_report_timeout(sequence),
+                    label=f"{self.name}:ack-timeout",
+                )
         else:
             # All QoS-1 retries failed (deep fade): keep the data.
             self._store.store(report)
             self._reports_buffered += 1
+
+    def _recover_inflight(self) -> None:
+        """Tear down the in-flight window on a session loss.
+
+        With a retry policy the unacknowledged reports re-enter the
+        local store (an Ack that never came must be assumed lost;
+        duplicates are deduplicated downstream by sequence).  Without
+        one they are dropped with the session — the legacy behaviour.
+        """
+        if self._config.retry is not None:
+            for sequence in sorted(self._inflight):
+                self._store.store(self._inflight[sequence])
+        self._inflight.clear()
+        self._report_attempts.clear()
+        self._cancel_reg_watchdog()
+
+    def _on_report_timeout(self, sequence: int) -> None:
+        """No Ack within the policy timeout: recover the report.
+
+        The report re-enters the local store (so the data survives) and
+        a flush attempt is scheduled after a jittered exponential
+        backoff.  Once the policy's attempt budget is spent the report
+        stops driving its own backoff chain — it stays parked in the
+        store and only rides flushes other events trigger, so active
+        retries are bounded but metered data is lost only to store
+        overflow (§II-C: "temporarily stored in local memory").
+        """
+        report = self._inflight.pop(sequence, None)
+        if report is None:
+            return  # Acked, nacked, or the session was torn down.
+        policy = self._config.retry
+        assert policy is not None
+        failures = self._report_attempts.get(sequence, 0) + 1
+        if policy.exhausted(failures):
+            self._report_attempts[sequence] = failures
+            if failures == policy.max_attempts:
+                self._retry_exhausted += 1
+                self.trace(
+                    "device.retry_exhausted", sequence=sequence, attempts=failures
+                )
+            self._store.store(report)
+            return
+        self._report_attempts[sequence] = failures
+        self._report_timeouts += 1
+        self._store.store(report)
+        self.trace("device.report_timeout", sequence=sequence, attempt=failures)
+        backoff = policy.backoff_s(failures, self.rng("retry"))
+        self._flush_retries += 1
+        self.sim.call_later(
+            backoff, self._flush_buffer, label=f"{self.name}:flush-retry"
+        )
 
     def _flush_buffer(self) -> None:
         """Send buffered records alongside the next transmissions."""
@@ -590,8 +685,38 @@ class MeteringDevice(Process):
             temporary=request.is_temporary,
             master=str(request.master) if request.master else None,
         )
+        if self._config.retry is not None:
+            # Silent-loss watchdog: a registration round answered by
+            # nothing at all (request or response lost) must not strand
+            # the device in REGISTERING forever.
+            self._cancel_reg_watchdog()
+            self._reg_watchdog = self.sim.call_later(
+                self._config.registration_retry_s,
+                self._on_registration_silence,
+                label=f"{self.name}:reg-watchdog",
+            )
+
+    def _cancel_reg_watchdog(self) -> None:
+        if self._reg_watchdog is not None:
+            self._reg_watchdog.cancel()
+            self._reg_watchdog = None
+
+    def _on_registration_silence(self) -> None:
+        self._reg_watchdog = None
+        if self._fsm.phase is not DevicePhase.REGISTERING:
+            return
+        if not self._client.connected:
+            return
+        self._registration_timeouts += 1
+        self.trace("device.registration_timeout")
+        self._send_registration(
+            RegistrationRequest(self._device_id, master=self._fsm.master)
+        )
 
     def _schedule_registration_retry(self) -> None:
+        # An explicit Nack answered this round; the scheduled retry owns
+        # the next one.
+        self._cancel_reg_watchdog()
         def _retry() -> None:
             if not self._client.connected:
                 return
@@ -614,6 +739,7 @@ class MeteringDevice(Process):
     def _on_ctrl(self, topic: str, payload: Any) -> None:
         message = decode_message(payload)
         if isinstance(message, RegistrationResponse):
+            self._cancel_reg_watchdog()
             decision = self._fsm.registration_response(message)
             handshake = self.last_handshake
             if handshake is not None and handshake.registered_at is None:
@@ -629,6 +755,7 @@ class MeteringDevice(Process):
             if message.sequence is not None:
                 self._acked_sequences.add(message.sequence)
                 self._inflight.pop(message.sequence, None)
+                self._report_attempts.pop(message.sequence, None)
             handshake = self.last_handshake
             if handshake is not None and handshake.registered_at is None:
                 # Home re-entry: the first accepted report ends the
@@ -646,8 +773,18 @@ class MeteringDevice(Process):
                 # membership after a backoff (slots may free up).
                 self._schedule_registration_retry()
                 return
+            if (
+                message.reason == NackReason.VERIFICATION_FAILED
+                and self._fsm.phase is DevicePhase.REGISTERING
+            ):
+                # The host could not get the master's vouch — commonly a
+                # transient backhaul fault (partition, crashed master),
+                # so keep buffering and retry once it may have healed.
+                self._schedule_registration_retry()
+                return
             if message.sequence is not None:
                 rejected = self._inflight.pop(message.sequence, None)
+                self._report_attempts.pop(message.sequence, None)
                 if rejected is not None and message.reason == NackReason.NOT_A_MEMBER:
                     # The host refused for lack of membership, not for the
                     # data itself — keep it for after registration.

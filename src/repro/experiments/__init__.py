@@ -8,6 +8,8 @@ One module per paper artifact (see DESIGN.md §4):
   ``T_handshake`` distribution,
 * :mod:`repro.experiments.ablations` — A1 (error attribution), A2
   (handshake stages), A3 (storage), A6 (anomaly detection),
+* :mod:`repro.experiments.faults` — chaos runs (blackout, crash,
+  fault-intensity sweep) scoring delivery ratio and billing error,
 * :mod:`repro.experiments.report` — text rendering of all results.
 """
 
@@ -24,6 +26,15 @@ from repro.experiments.ablations import (
     run_sensor_ablation,
     run_storage_ablation,
 )
+from repro.experiments.faults import (
+    ChaosResult,
+    DeviceDelivery,
+    SweepPoint,
+    run_blackout_chaos,
+    run_crash_chaos,
+    run_fault_sweep,
+    settle_and_measure,
+)
 from repro.experiments.report import render_fig5, render_fig6, render_table
 
 __all__ = [
@@ -38,6 +49,13 @@ __all__ = [
     "run_handshake_stage_ablation",
     "run_sensor_ablation",
     "run_storage_ablation",
+    "ChaosResult",
+    "DeviceDelivery",
+    "SweepPoint",
+    "run_blackout_chaos",
+    "run_crash_chaos",
+    "run_fault_sweep",
+    "settle_and_measure",
     "render_fig5",
     "render_fig6",
     "render_table",

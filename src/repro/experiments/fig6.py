@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.errors import ExperimentError
 from repro.workloads.mobility import MobilityTrace
-from repro.workloads.scenarios import Scenario, build_paper_testbed
+from repro.workloads.scenarios import build_paper_testbed
 
 
 @dataclass

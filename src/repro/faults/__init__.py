@@ -1,0 +1,32 @@
+"""Deterministic fault injection and retry/backoff resilience.
+
+The paper's architecture claims billing stays consistent *through*
+disconnection and mobility (§II-B buffering, Fig. 6 backfill).  This
+package makes the failure path a first-class workload:
+
+* :mod:`repro.faults.injectors` — per-link fault state (blackout
+  windows, drop/duplicate/delay/corrupt draws) the transports consult,
+* :mod:`repro.faults.plan` — :class:`~repro.faults.plan.FaultPlan`,
+  a named, seeded schedule of faults against the kernel,
+* :mod:`repro.faults.retry` — :class:`~repro.faults.retry.RetryPolicy`
+  (timeout + jittered exponential backoff, bounded attempts) shared by
+  the device report path and the roaming verify path.
+
+Determinism invariant: every fault draw comes from a named
+:class:`~repro.sim.rng.RngStreams` stream, so a chaos run replays
+byte-identically for a given master seed.
+"""
+
+from repro.faults.injectors import FaultAction, LinkFaultInjector, LinkFaultSpec
+from repro.faults.plan import FaultPlan, ScheduledFault
+from repro.faults.retry import RetryPolicy, RetryTimer
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "LinkFaultInjector",
+    "LinkFaultSpec",
+    "RetryPolicy",
+    "RetryTimer",
+    "ScheduledFault",
+]

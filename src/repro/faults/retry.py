@@ -1,0 +1,162 @@
+"""Retry policy: timeout + exponential backoff with jitter.
+
+Recovery paths (the device's report path, the liaison's membership
+verify) share one policy shape: wait ``timeout_s`` for an answer, retry
+with exponentially growing, jittered backoff, give up after
+``max_attempts``.  Jitter draws come from a *named* kernel stream so
+retry storms de-synchronise without breaking determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry parameters shared by the resilience paths.
+
+    Attributes:
+        timeout_s: How long one attempt waits for its answer.
+        base_backoff_s: Backoff after the first failed attempt.
+        backoff_factor: Multiplier applied per further failure.
+        max_backoff_s: Backoff ceiling.
+        max_attempts: Total attempts (the first try counts as one).
+        jitter: Fractional uniform jitter applied to each backoff
+            (0.1 means +-10 %); 0 disables jitter.
+    """
+
+    timeout_s: float = 2.0
+    base_backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 30.0
+    max_attempts: int = 5
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigError(f"timeout must be positive, got {self.timeout_s}")
+        if self.base_backoff_s <= 0:
+            raise ConfigError(
+                f"base backoff must be positive, got {self.base_backoff_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigError(
+                f"max backoff {self.max_backoff_s} < base {self.base_backoff_s}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_s(self, failures: int, rng: np.random.Generator | None = None) -> float:
+        """Backoff before the attempt following ``failures`` failures.
+
+        ``failures`` is 1 after the first failed attempt.  With an
+        ``rng`` the delay is jittered uniformly within ``+-jitter``.
+        """
+        if failures < 1:
+            raise ConfigError(f"failures must be >= 1, got {failures}")
+        delay = min(
+            self.base_backoff_s * self.backoff_factor ** (failures - 1),
+            self.max_backoff_s,
+        )
+        if self.jitter > 0 and rng is not None:
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return delay
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` tries have used up the budget."""
+        return attempts >= self.max_attempts
+
+
+class RetryTimer:
+    """Drives one retryable operation on the kernel.
+
+    Call :meth:`arm` after each attempt is sent; when no
+    :meth:`settle` arrives within the policy timeout, ``attempt_fn``
+    is re-invoked after the backoff, until the policy is exhausted and
+    ``on_give_up`` fires.
+
+    Args:
+        simulator: The kernel (anything with ``call_later``).
+        policy: The retry policy.
+        attempt_fn: Re-sends the operation (one further attempt).
+        on_give_up: Called once when the attempt budget is spent.
+        rng: Stream for backoff jitter (None disables jitter).
+        label: Event label for traces.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        policy: RetryPolicy,
+        attempt_fn: Callable[[], None],
+        on_give_up: Callable[[], None],
+        rng: np.random.Generator | None = None,
+        label: str = "retry",
+    ) -> None:
+        self._sim = simulator
+        self._policy = policy
+        self._attempt_fn = attempt_fn
+        self._on_give_up = on_give_up
+        self._rng = rng
+        self._label = label
+        self._attempts = 0
+        self._settled = False
+        self._event: Any | None = None
+
+    @property
+    def attempts(self) -> int:
+        """Attempts made so far (including the initial one)."""
+        return self._attempts
+
+    @property
+    def settled(self) -> bool:
+        """True once the operation succeeded or gave up."""
+        return self._settled
+
+    def arm(self) -> None:
+        """Note one attempt sent; start its response timeout."""
+        if self._settled:
+            return
+        self._attempts += 1
+        self._event = self._sim.call_later(
+            self._policy.timeout_s, self._on_timeout, label=f"{self._label}:timeout"
+        )
+
+    def settle(self) -> None:
+        """The answer arrived: cancel any pending timeout.  Idempotent."""
+        self._settled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _on_timeout(self) -> None:
+        if self._settled:
+            return
+        self._event = None
+        if self._policy.exhausted(self._attempts):
+            self._settled = True
+            self._on_give_up()
+            return
+        backoff = self._policy.backoff_s(self._attempts, self._rng)
+        self._event = self._sim.call_later(
+            backoff, self._retry, label=f"{self._label}:backoff"
+        )
+
+    def _retry(self) -> None:
+        if self._settled:
+            return
+        self._event = None
+        self._attempt_fn()
+        self.arm()

@@ -8,6 +8,7 @@ CSV/JSON for external plotting.
 """
 
 from repro.monitoring.alerts import Alert, AlertCondition, AlertManager, AlertRule
+from repro.monitoring.counters import CounterBank
 from repro.monitoring.dashboards import render_dashboard, render_series
 from repro.monitoring.export import series_to_csv, series_to_json
 from repro.monitoring.html import render_dashboard_html, save_dashboard_html
@@ -18,6 +19,7 @@ __all__ = [
     "AlertCondition",
     "AlertManager",
     "AlertRule",
+    "CounterBank",
     "render_dashboard",
     "render_dashboard_html",
     "render_series",

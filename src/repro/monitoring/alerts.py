@@ -11,7 +11,7 @@ excursion, re-arm after recovery).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.monitoring.timeseries import SeriesBank

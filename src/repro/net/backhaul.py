@@ -18,6 +18,7 @@ from typing import Any, Callable
 import networkx as nx
 
 from repro.errors import BackhaulError
+from repro.faults.injectors import FaultAction, LinkFaultInjector
 from repro.ids import AggregatorId
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
@@ -56,11 +57,92 @@ class BackhaulMesh(Process):
         self._handlers: dict[AggregatorId, BackhaulHandler] = {}
         self._per_hop_cost_s = per_hop_cost_s
         self._messages_sent = 0
+        self._messages_dropped = 0
+        self._partition: list[frozenset[AggregatorId]] | None = None
+        self._down: set[AggregatorId] = set()
+        self._link_injectors: dict[frozenset[AggregatorId], LinkFaultInjector] = {}
 
     @property
     def messages_sent(self) -> int:
         """Total messages routed so far."""
         return self._messages_sent
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to partitions, downed nodes or link faults."""
+        return self._messages_dropped
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether a partition is currently in force."""
+        return self._partition is not None
+
+    # -- fault injection -------------------------------------------------
+
+    def set_partition(self, groups: list[set[AggregatorId]]) -> None:
+        """Split the mesh: messages between different groups are lost.
+
+        Every aggregator must appear in exactly one group.  The physical
+        links stay configured — :meth:`heal_partition` restores service
+        without re-wiring.
+        """
+        seen: set[AggregatorId] = set()
+        for group in groups:
+            overlap = seen & group
+            if overlap:
+                raise BackhaulError(f"aggregators in two groups: {sorted(a.name for a in overlap)}")
+            seen |= group
+        missing = set(self._handlers) - seen
+        if missing:
+            raise BackhaulError(
+                f"partition misses aggregators: {sorted(a.name for a in missing)}"
+            )
+        self._partition = [frozenset(group) for group in groups]
+        self.trace("backhaul.partition", groups=len(groups))
+
+    def heal_partition(self) -> None:
+        """Remove the partition; traffic flows again.  Idempotent."""
+        self._partition = None
+        self.trace("backhaul.heal")
+
+    def set_node_down(self, aggregator_id: AggregatorId, down: bool) -> None:
+        """Mark one aggregator crashed: messages to/from it are lost."""
+        if aggregator_id not in self._handlers:
+            raise BackhaulError(f"unknown aggregator {aggregator_id}")
+        if down:
+            self._down.add(aggregator_id)
+        else:
+            self._down.discard(aggregator_id)
+
+    def install_link_injector(
+        self,
+        a: AggregatorId,
+        b: AggregatorId,
+        injector: LinkFaultInjector | None,
+    ) -> None:
+        """Attach a fault injector to the direct mesh link ``a — b``.
+
+        Every message whose best path crosses the link consults the
+        injector; ``None`` removes a previously installed one.
+        """
+        if not self._graph.has_edge(a, b):
+            raise BackhaulError(f"no mesh link {a} -- {b}")
+        key = frozenset((a, b))
+        if injector is None:
+            self._link_injectors.pop(key, None)
+        else:
+            self._link_injectors[key] = injector
+
+    def _severed(self, source: AggregatorId, destination: AggregatorId) -> bool:
+        """Whether a partition or downed node makes delivery impossible."""
+        if source in self._down or destination in self._down:
+            return True
+        if self._partition is None:
+            return False
+        for group in self._partition:
+            if source in group:
+                return destination not in group
+        return True
 
     def add_aggregator(self, aggregator_id: AggregatorId, handler: BackhaulHandler) -> None:
         """Attach an aggregator and its receive handler to the mesh."""
@@ -91,18 +173,58 @@ class BackhaulMesh(Process):
         return total
 
     def send(self, source: AggregatorId, destination: AggregatorId, payload: Any) -> float:
-        """Deliver ``payload`` to ``destination``; returns the latency."""
+        """Deliver ``payload`` to ``destination``; returns the latency.
+
+        Injected faults apply here: messages crossing a partition or
+        touching a crashed node are lost (counted, not raised — a
+        partition is an operational condition, not a wiring error), and
+        each traversed link's injector may drop, corrupt, delay or
+        duplicate the message.
+        """
         handler = self._handlers.get(destination)
         if handler is None:
             raise BackhaulError(f"unknown destination {destination}")
+        if self._severed(source, destination):
+            self._messages_dropped += 1
+            self.trace(
+                "backhaul.drop_severed", source=str(source), destination=str(destination)
+            )
+            return 0.0
         latency = self.latency_s(source, destination)
+        copies = 1
+        if self._link_injectors and source != destination:
+            path = nx.shortest_path(self._graph, source, destination, weight="latency")
+            for a, b in zip(path, path[1:]):
+                injector = self._link_injectors.get(frozenset((a, b)))
+                if injector is None:
+                    continue
+                verdict = injector.message_verdict()
+                if verdict in (FaultAction.DROP, FaultAction.CORRUPT):
+                    self._messages_dropped += 1
+                    self.trace(
+                        "backhaul.drop_fault",
+                        source=str(source),
+                        destination=str(destination),
+                        verdict=verdict.value,
+                    )
+                    return latency
+                if verdict is FaultAction.DELAY:
+                    latency += injector.extra_delay_s
+                elif verdict is FaultAction.DUPLICATE:
+                    copies = 2
         self._messages_sent += 1
         self.trace("backhaul.send", source=str(source), destination=str(destination))
 
         def _arrive() -> None:
+            if destination in self._down:
+                # Crashed while the message was in flight.
+                self._messages_dropped += 1
+                self.trace("backhaul.drop_down", destination=str(destination))
+                return
             handler(source, payload)
 
-        self.sim.call_later(latency, _arrive, label=f"backhaul:{source}->{destination}")
+        for _ in range(copies):
+            self.sim.call_later(latency, _arrive, label=f"backhaul:{source}->{destination}")
         return latency
 
     def broadcast(self, source: AggregatorId, payload: Any) -> int:

@@ -10,10 +10,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ChannelError, ConfigError
+
+if TYPE_CHECKING:
+    from repro.faults.injectors import LinkFaultInjector
 
 
 @dataclass(frozen=True)
@@ -66,11 +70,28 @@ class WirelessChannel:
     def __init__(self, params: ChannelParams, rng: np.random.Generator) -> None:
         self._params = params
         self._rng = rng
+        self._injector: "LinkFaultInjector | None" = None
 
     @property
     def params(self) -> ChannelParams:
         """The radio-environment parameters."""
         return self._params
+
+    @property
+    def fault_injector(self) -> "LinkFaultInjector | None":
+        """The installed fault injector, if any."""
+        return self._injector
+
+    def set_fault_injector(self, injector: "LinkFaultInjector | None") -> None:
+        """Install (or clear) a channel-wide fault injector.
+
+        The channel is shared by every radio in a scenario, so faults
+        installed here model environment-scale events (an RF jammer, an
+        access-point power loss) rather than a single bad link — use
+        :meth:`~repro.net.mqtt.MqttClient.set_fault_injector` for
+        per-device link faults.
+        """
+        self._injector = injector
 
     def path_loss_db(self, distance_m: float, shadowed: bool = True) -> float:
         """Log-distance path loss, optionally with one shadowing draw."""
@@ -96,7 +117,14 @@ class WirelessChannel:
         return 1.0 / (1.0 + math.exp(-x))
 
     def packet_lost(self, rssi_dbm: float) -> bool:
-        """Draw one packet-loss outcome at the given RSSI."""
+        """Draw one packet-loss outcome at the given RSSI.
+
+        An installed fault injector is consulted first: during a
+        blackout (or an injected drop) the frame is lost regardless of
+        RSSI.
+        """
+        if self._injector is not None and self._injector.packet_blocked():
+            return True
         return bool(self._rng.random() < self.packet_error_rate(rssi_dbm))
 
     def airtime_s(self, payload_bytes: int, overhead_bytes: int = 60) -> float:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.errors import NetworkError
+from repro.faults.injectors import FaultAction, LinkFaultInjector
 from repro.net.channel import WirelessChannel
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
@@ -90,11 +91,38 @@ class MqttBroker(Process):
         self._connect_jitter_sigma = connect_jitter_sigma
         self._subscriptions: list[_Subscription] = []
         self._messages_routed = 0
+        self._messages_dropped = 0
+        self._down = False
+        self._injector: LinkFaultInjector | None = None
 
     @property
     def messages_routed(self) -> int:
         """Messages delivered to at least one subscriber."""
         return self._messages_routed
+
+    @property
+    def messages_dropped(self) -> int:
+        """Messages lost to broker downtime or injected faults."""
+        return self._messages_dropped
+
+    @property
+    def down(self) -> bool:
+        """Whether the broker host is currently crashed."""
+        return self._down
+
+    def set_down(self, down: bool) -> None:
+        """Crash/restore the broker host (fault injection).
+
+        While down, every message — inbound publishes and queued
+        deliveries alike — is dropped; MQTT sessions themselves are the
+        devices' concern (their reports time out and buffer locally).
+        """
+        self._down = down
+        self.trace("mqtt.broker_down" if down else "mqtt.broker_up")
+
+    def set_fault_injector(self, injector: LinkFaultInjector | None) -> None:
+        """Install (or clear) a fault injector on the routing path."""
+        self._injector = injector
 
     def connect_duration_s(self) -> float:
         """Sample one client connect latency."""
@@ -124,10 +152,34 @@ class MqttBroker(Process):
             raise NetworkError(f"no subscription {pattern!r} to remove")
 
     def deliver(self, topic: str, payload: Any, after_s: float = 0.0) -> None:
-        """Route ``payload`` to matching subscribers after a delay."""
+        """Route ``payload`` to matching subscribers after a delay.
+
+        A crashed broker drops everything; an installed fault injector
+        may additionally drop, corrupt (discarded at the integrity
+        check), delay or duplicate the message.
+        """
+        if self._down:
+            self._messages_dropped += 1
+            self.trace("mqtt.drop_down", topic=topic)
+            return
         delay = after_s + self._processing_latency_s
+        copies = 1
+        if self._injector is not None:
+            verdict = self._injector.message_verdict()
+            if verdict in (FaultAction.DROP, FaultAction.CORRUPT):
+                self._messages_dropped += 1
+                self.trace("mqtt.drop_fault", topic=topic, verdict=verdict.value)
+                return
+            if verdict is FaultAction.DELAY:
+                delay += self._injector.extra_delay_s
+            elif verdict is FaultAction.DUPLICATE:
+                copies = 2
 
         def _route() -> None:
+            if self._down:
+                self._messages_dropped += 1
+                self.trace("mqtt.drop_down", topic=topic)
+                return
             matched = False
             for sub in list(self._subscriptions):
                 if topic_matches(sub.pattern, topic):
@@ -137,7 +189,8 @@ class MqttBroker(Process):
                 self._messages_routed += 1
             self.trace("mqtt.deliver", topic=topic, matched=matched)
 
-        self.sim.call_later(delay, _route, label=f"mqtt:{topic}")
+        for _ in range(copies):
+            self.sim.call_later(delay, _route, label=f"mqtt:{topic}")
 
 
 class MqttClient(Process):
@@ -171,6 +224,7 @@ class MqttClient(Process):
         self._retry_backoff_s = retry_backoff_s
         self._broker: MqttBroker | None = None
         self._rssi_dbm: float | None = None
+        self._injector: LinkFaultInjector | None = None
         self._published = 0
         self._dropped = 0
         self._retransmissions = 0
@@ -211,6 +265,16 @@ class MqttClient(Process):
         self.sim.call_later(latency, _established, label=f"mqtt-connect:{self.name}")
         return latency
 
+    def set_fault_injector(self, injector: LinkFaultInjector | None) -> None:
+        """Install (or clear) a fault injector on this client's radio link.
+
+        Frame-level: each transmission attempt additionally consults
+        :meth:`~repro.faults.injectors.LinkFaultInjector.packet_blocked`,
+        so a blackout makes every publish exhaust its QoS-1 budget and
+        return False (the device stack then buffers the data).
+        """
+        self._injector = injector
+
     def disconnect(self) -> None:
         """Drop the broker session (e.g. on leaving the network)."""
         self._broker = None
@@ -239,7 +303,8 @@ class MqttClient(Process):
         delay = 0.0
         for attempt in range(attempts):
             delay += airtime
-            if not self._channel.packet_lost(self._rssi_dbm):
+            blocked = self._injector is not None and self._injector.packet_blocked()
+            if not blocked and not self._channel.packet_lost(self._rssi_dbm):
                 self._broker.deliver(topic, payload, after_s=delay)
                 self._published += 1
                 if attempt > 0:

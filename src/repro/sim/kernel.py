@@ -50,9 +50,17 @@ class PeriodicTask:
         return self._stopped
 
     def start(self, first_at: float) -> None:
-        """Arm the task; first firing at absolute time ``first_at``."""
+        """Arm the task; first firing at absolute time ``first_at``.
+
+        A task may be armed only once — a second ``start`` while an
+        event is pending would create two concurrent firing chains.
+        """
         if self._stopped:
             raise SchedulingError("cannot start a stopped periodic task")
+        if self._event is not None:
+            raise SchedulingError(
+                f"periodic task {self._label!r} is already armed"
+            )
         self._event = self._sim.schedule(
             first_at, self._fire, priority=self._priority, label=self._label
         )
@@ -65,16 +73,31 @@ class PeriodicTask:
             self._event = None
 
     def reschedule(self, interval: float) -> None:
-        """Change the firing interval, effective from the next firing."""
+        """Change the firing interval.
+
+        When an event is pending it is re-armed at ``now + interval``,
+        so a shortened interval takes effect immediately instead of
+        waiting out the previously scheduled (longer) gap.
+        """
         if interval <= 0:
             raise SchedulingError(f"interval must be positive, got {interval}")
         self._interval = interval
+        if self._stopped or self._event is None:
+            return
+        self._event.cancel()
+        self._event = self._sim.call_later(
+            interval, self._fire, priority=self._priority, label=self._label
+        )
 
     def _fire(self) -> None:
         if self._stopped:
             return
+        # The pending event just popped; clear it so a reschedule from
+        # inside the callback only updates the interval (the re-arm
+        # below uses whatever interval the callback left behind).
+        self._event = None
         self._callback()
-        if not self._stopped:
+        if not self._stopped and self._event is None:
             self._event = self._sim.call_later(
                 self._interval, self._fire, priority=self._priority, label=self._label
             )

@@ -5,6 +5,12 @@
 reporting every 100 ms, aggregators joined by a ~1 ms backhaul.
 :func:`build_scaled_scenario` generalises to N networks x M devices for
 the scalability experiments.
+
+The chaos builders put the same worlds under deterministic fault
+schedules (:mod:`repro.faults`): :func:`build_blackout_scenario` (a
+link blackout the §II-B buffering must cover),
+:func:`build_crash_scenario` (aggregator crash+restart) and
+:func:`build_partition_scenario` (a backhaul partition under roaming).
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
 from repro.chain.ledger import Blockchain
 from repro.device.stack import DeviceConfig, LoadProfile, MeteringDevice
 from repro.errors import ConfigError
+from repro.faults import FaultPlan, RetryPolicy
 from repro.grid.topology import GridNetwork, GridTopology
 from repro.hw.powerline import WireSegment
 from repro.ids import AggregatorId, DeviceId
@@ -308,3 +315,111 @@ def build_scaled_scenario(
             if enter_devices:
                 scenario.enter_at(device_name, network, 0.0)
     return scenario
+
+
+# -- chaos scenarios -----------------------------------------------------
+
+
+def _chaos_device_config(t_measure_s: float, retry: bool) -> DeviceConfig:
+    return DeviceConfig(
+        t_measure_s=t_measure_s,
+        retry=RetryPolicy() if retry else None,
+    )
+
+
+def build_blackout_scenario(
+    seed: int = 0,
+    blackout_at: float = 10.0,
+    blackout_s: float = 30.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+) -> tuple[Scenario, FaultPlan]:
+    """Paper testbed under a radio blackout window.
+
+    Every uplink frame during ``[blackout_at, blackout_at +
+    blackout_s)`` is lost; sampling continues, so the §II-B
+    store-and-forward path must buffer the whole window and backfill
+    (``buffered=True``) once the link returns — the Fig. 6 shape,
+    caused by a fault instead of mobility.
+    """
+    scenario = build_paper_testbed(
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_config=_chaos_device_config(t_measure_s, retry),
+    )
+    plan = FaultPlan(scenario.simulator)
+    injector = plan.make_injector("radio")
+    scenario.channel.set_fault_injector(injector)
+    plan.link_blackout("radio-blackout", injector, blackout_at, blackout_s)
+    return scenario, plan
+
+
+def build_crash_scenario(
+    seed: int = 0,
+    crash_at: float = 10.0,
+    outage_s: float = 15.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+    aggregator: str = "agg1",
+) -> tuple[Scenario, FaultPlan]:
+    """Paper testbed with one aggregator crashing and restarting.
+
+    During the outage the broker drops everything, so in-flight reports
+    go unacknowledged; the devices' retry path re-buffers them and the
+    post-restart ``Nack(NOT_A_MEMBER)`` → re-registration sequence
+    (vouched by the surviving ledger) backfills the window.
+    """
+    scenario = build_paper_testbed(
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_config=_chaos_device_config(t_measure_s, retry),
+    )
+    plan = FaultPlan(scenario.simulator)
+    plan.aggregator_crash(
+        f"{aggregator}-crash", scenario.aggregator(aggregator), crash_at, outage_s
+    )
+    return scenario, plan
+
+
+def build_partition_scenario(
+    seed: int = 0,
+    partition_at: float = 18.0,
+    partition_s: float = 20.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+) -> tuple[Scenario, FaultPlan]:
+    """Roaming into a partitioned backhaul.
+
+    ``device1`` moves from agg1 to agg2 while the mesh is split, so the
+    host cannot verify the claimed master: the verify retry path times
+    out, the device keeps buffering under registration retries, and
+    membership (plus the backfill) completes only after the heal.
+    """
+    scenario = build_paper_testbed(
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_config=_chaos_device_config(t_measure_s, retry),
+        enter_devices=False,
+    )
+    scenario.enter_at("device2", "agg1", 0.0)
+    scenario.enter_at("device3", "agg2", 0.0)
+    scenario.enter_at("device4", "agg2", 0.0)
+    scenario.schedule_mobility(
+        "device1",
+        MobilityTrace.single_move(
+            home="agg1",
+            destination="agg2",
+            enter_home_at=0.0,
+            leave_home_at=partition_at + 2.0,
+            idle_s=5.0,
+        ),
+    )
+    plan = FaultPlan(scenario.simulator)
+    plan.backhaul_partition(
+        "mesh-split",
+        scenario.mesh,
+        [{AggregatorId("agg1")}, {AggregatorId("agg2")}],
+        partition_at,
+        partition_s,
+    )
+    return scenario, plan

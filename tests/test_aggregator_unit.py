@@ -80,7 +80,6 @@ class TestReporting:
         # ~10 reports per second per device after registration (paper).
         device = steady_world.device("device1")
         reporting_time = 20.0 - device.last_handshake.registered_at
-        live = device.reports_sent - device.reports_buffered
         # Buffered backlog is also transmitted; just bound the total rate.
         assert device.reports_sent >= 10 * reporting_time * 0.9
 

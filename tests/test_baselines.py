@@ -1,6 +1,5 @@
 """Tests for the centralized and naive baselines."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import CentralizedMeteringBaseline, NaiveDeviceLog

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.chain import (
-    AuditReport,
     Block,
     Blockchain,
     InMemoryBlockStore,

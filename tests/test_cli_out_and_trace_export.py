@@ -3,7 +3,7 @@
 import json
 
 from repro.cli import main
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import TraceRecorder
 from repro.workloads.scenarios import build_paper_testbed
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.chain import Blockchain, audit_chain
-from repro.chain.hashing import hash_value
 from repro.decentral import DecentralizedDevice, DecentralizedNetwork
 from repro.errors import ConsensusError
 from repro.ids import DeviceId

@@ -1,11 +1,8 @@
 """Edge-case integration tests: weak links, overflow, persistence, determinism."""
 
-import pytest
-
 from repro.chain import Blockchain, JsonlBlockStore
 from repro.device.stack import DeviceConfig
 from repro.experiments.validate import run_validation
-from repro.ids import DeviceId
 from repro.workloads.scenarios import build_paper_testbed
 
 

@@ -6,8 +6,7 @@ from repro import BillingEngine, FlatTariff, audit_chain, build_paper_testbed
 from repro.baselines import NaiveDeviceLog
 from repro.chain import Block
 from repro.chain.store import InMemoryBlockStore
-from repro.chain.ledger import Blockchain
-from repro.device.app import BillingAgent, DemandPredictor, RemoteManagement
+from repro.device.app import DemandPredictor, RemoteManagement
 from repro.ids import DeviceId
 from repro.workloads.mobility import MobilityTrace
 from repro.workloads.scenarios import build_paper_testbed as build

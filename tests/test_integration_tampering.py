@@ -1,7 +1,5 @@
 """Integration: a fraudulent device in the full simulation is detected."""
 
-import pytest
-
 from repro.anomaly import OffsetAttack, ScalingAttack
 from repro.workloads.scenarios import build_paper_testbed
 

@@ -1,6 +1,5 @@
 """Tests for the MQTT-like broker and client."""
 
-import numpy as np
 import pytest
 
 from repro.errors import NetworkError

@@ -116,7 +116,7 @@ class TestClusterValidation:
     def test_duplicate_identities_rejected(self):
         sim = Simulator()
         mesh = BackhaulMesh(sim)
-        a = PbftReplica(sim, AggregatorId("r0"), mesh)
+        PbftReplica(sim, AggregatorId("r0"), mesh)
         with pytest.raises(Exception):
             # Second registration of the same mesh identity fails at the
             # mesh level already.

@@ -51,7 +51,6 @@ class TestAnomalousReportPath:
         scenario = build_paper_testbed(seed=53)
         device = scenario.device("device1")
         scenario.run_until(10.0)
-        committed_before = len(scenario.chain.records_for_device(device.device_id.uid))
         # From t=10 the device reports 10x its real draw: > 400 mA.
         device.tamper_attack = AmplifyAttack(10.0)
         scenario.run_until(20.0)

@@ -212,12 +212,14 @@ class TestPeriodicTask:
         task.stop()
 
     def test_reschedule_changes_interval(self):
+        # Re-arms the pending fire: at 1.5 the queued 2.0 tick is
+        # cancelled and the new cadence starts from the reschedule.
         sim = Simulator()
         ticks = []
         task = sim.every(1.0, lambda: ticks.append(sim.now))
         sim.schedule(1.5, lambda: task.reschedule(2.0))
         sim.run_until(6.0)
-        assert ticks == [1.0, 2.0, 4.0, 6.0]
+        assert ticks == [1.0, 3.5, 5.5]
 
     def test_bad_interval_rejected(self):
         sim = Simulator()
@@ -226,6 +228,57 @@ class TestPeriodicTask:
         task = sim.every(1.0, lambda: None)
         with pytest.raises(SchedulingError):
             task.reschedule(-1.0)
+
+    def test_double_start_rejected(self):
+        # Regression: a second start used to arm a second concurrent
+        # firing chain, doubling the callback rate forever.
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        with pytest.raises(SchedulingError):
+            task.start(0.5)
+        sim.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_after_stop_rejected(self):
+        sim = Simulator()
+        task = sim.every(1.0, lambda: None)
+        task.stop()
+        with pytest.raises(SchedulingError):
+            task.start(2.0)
+
+    def test_reschedule_from_inside_callback(self):
+        # A reschedule during _fire must not double-arm: the interval
+        # change applies to the re-arm the firing chain already does.
+        sim = Simulator()
+        ticks = []
+        task = None
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.reschedule(2.0)
+
+        task = sim.every(1.0, tick)
+        sim.run_until(6.5)
+        assert ticks == [1.0, 2.0, 4.0, 6.0]
+
+    def test_reschedule_shortens_pending_gap(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.0, lambda: task.reschedule(0.5))
+        sim.run_until(2.1)
+        assert ticks == [1.5, 2.0]
+
+    def test_reschedule_while_stopped_keeps_silent(self):
+        sim = Simulator()
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        task.stop()
+        task.reschedule(0.5)
+        sim.run_until(3.0)
+        assert ticks == []
 
 
 class TestDeterminism:
