@@ -13,12 +13,15 @@ from repro.device.stack import DeviceConfig
 from repro.experiments.report import render_table
 from repro.experiments.sweeps import grid, sweep
 from repro.net.mqtt import QoS
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def run_point(distance_m: float, qos: str) -> dict:
     config = DeviceConfig(report_qos=QoS[qos])
-    scenario = build_paper_testbed(seed=9, device_config=config, enter_devices=False)
+    scenario = build(
+        paper_testbed_spec(seed=9, enter_devices=False), device_config=config
+    )
     scenario.enter_at("device1", "agg1", 0.0, distance_m=distance_m)
     scenario.run_until(25.0)
     device = scenario.device("device1")

@@ -10,15 +10,14 @@ removes false positives without losing the fraud.
 from repro.anomaly import ScalingAttack
 from repro.experiments.report import render_table
 from repro.experiments.sweeps import grid, sweep
-from repro.workloads.scenarios import build_scaled_scenario
+from repro.runtime import build
+from repro.workloads.scenarios import scaled_spec
 
 
 def run_point(windows: int, fraud: bool) -> dict:
-    scenario = build_scaled_scenario(
-        n_networks=1, devices_per_network=4, seed=17,
-        # Square duty-cycle profiles are the scaled builder's default —
-        # exactly the straddle-prone workload this ablation needs.
-    )
+    # Square duty-cycle profiles are the scaled spec's default —
+    # exactly the straddle-prone workload this ablation needs.
+    scenario = build(scaled_spec(n_networks=1, devices_per_network=4, seed=17))
     unit = next(iter(scenario.aggregators.values()))
     # Rebuild the residual deque with the swept size.
     from collections import deque

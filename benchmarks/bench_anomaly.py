@@ -8,7 +8,8 @@ the paper's complementary measurement must flag the fraudulent network.
 from repro.anomaly import ScalingAttack
 from repro.experiments.ablations import run_anomaly_ablation
 from repro.experiments.report import render_table
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def test_detector_matrix(once):
@@ -29,7 +30,7 @@ def test_detector_matrix(once):
 
 def test_full_system_fraud_detection(once):
     def run():
-        scenario = build_paper_testbed(seed=23)
+        scenario = build(paper_testbed_spec(seed=23))
         scenario.device("device1").tamper_attack = ScalingAttack(0.5)
         scenario.run_until(25.0)
         return scenario

@@ -9,13 +9,14 @@ import pytest
 
 from repro.anomaly import ScalingAttack
 from repro.experiments.report import render_table
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 @pytest.mark.parametrize("factor", [0.3, 0.5, 0.8])
 def test_attribution_identifies_fraud_strengths(once, factor):
     def run():
-        scenario = build_paper_testbed(seed=8)
+        scenario = build(paper_testbed_spec(seed=8))
         scenario.device("device1").tamper_attack = ScalingAttack(factor)
         scenario.run_until(40.0)
         return scenario.aggregator("agg1").attribute_anomaly()
@@ -33,7 +34,7 @@ def test_attribution_identifies_fraud_strengths(once, factor):
 
 
 def test_attribution_estimator_cost(benchmark):
-    scenario = build_paper_testbed(seed=8)
+    scenario = build(paper_testbed_spec(seed=8))
     scenario.device("device1").tamper_attack = ScalingAttack(0.5)
     scenario.run_until(40.0)
     agg1 = scenario.aggregator("agg1")
@@ -46,7 +47,7 @@ def test_attribution_summary_table(once):
     def sweep():
         rows = []
         for factor in (1.0, 0.5):
-            scenario = build_paper_testbed(seed=8)
+            scenario = build(paper_testbed_spec(seed=8))
             if factor != 1.0:
                 scenario.device("device1").tamper_attack = ScalingAttack(factor)
             scenario.run_until(35.0)

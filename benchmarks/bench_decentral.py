@@ -14,9 +14,10 @@ from repro.chain import Blockchain
 from repro.decentral import DecentralizedDevice, DecentralizedNetwork
 from repro.ids import DeviceId
 from repro.net.backhaul import BackhaulMesh
+from repro.runtime import build
 from repro.sim import Simulator
 from repro.workloads.profiles import SinusoidProfile
-from repro.workloads.scenarios import build_paper_testbed
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def run_decentralized(n_devices=4, duration=10.0, seed=0):
@@ -57,7 +58,7 @@ def test_architecture_comparison_table(once):
         _, d_chain, d_mesh, d_net = run_decentralized()
         d_records = sum(b.header.record_count for b in d_chain)
         # Aggregator-based testbed (4 devices across 2 networks).
-        scenario = build_paper_testbed(seed=0)
+        scenario = build(paper_testbed_spec(seed=0))
         scenario.run_until(10.0)
         a_records = sum(b.header.record_count for b in scenario.chain)
         a_mesh = scenario.mesh.messages_sent

@@ -9,13 +9,14 @@ simulation cost.
 
 import time
 
-from repro.workloads.scenarios import build_scaled_scenario
+from repro.runtime import build
+from repro.workloads.scenarios import scaled_spec
 
 
 def test_fleet_with_mobility_churn(once):
     def run():
-        scenario = build_scaled_scenario(
-            n_networks=6, devices_per_network=6, seed=77, enter_devices=True
+        scenario = build(
+            scaled_spec(n_networks=6, devices_per_network=6, seed=77, enter_devices=True)
         )
         # Four roamers hop to a neighbour network mid-run.
         for i in range(4):

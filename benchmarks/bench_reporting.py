@@ -6,12 +6,13 @@ Verifies the steady-state rate and measures simulator cost per
 simulated second of the full testbed.
 """
 
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def test_sustained_10hz_reporting(once):
     def run():
-        scenario = build_paper_testbed(seed=5)
+        scenario = build(paper_testbed_spec(seed=5))
         scenario.run_until(30.0)
         return scenario
 
@@ -29,7 +30,7 @@ def test_sustained_10hz_reporting(once):
 
 def test_simulation_throughput(benchmark):
     def run_one_second():
-        scenario = build_paper_testbed(seed=6)
+        scenario = build(paper_testbed_spec(seed=6))
         scenario.run_until(5.0)
         return scenario.simulator.events_executed
 

@@ -10,16 +10,17 @@ import time
 import pytest
 
 from repro.errors import SlotAllocationError
-from repro.net.tdma import TdmaSchedule
 from repro.ids import DeviceId
-from repro.workloads.scenarios import build_scaled_scenario
+from repro.net.tdma import TdmaSchedule
+from repro.runtime import build
+from repro.workloads.scenarios import scaled_spec
 
 
 @pytest.mark.parametrize("devices", [2, 8, 16])
 def test_scaling_devices_per_network(once, devices):
     def run():
-        scenario = build_scaled_scenario(
-            n_networks=2, devices_per_network=devices, seed=17
+        scenario = build(
+            scaled_spec(n_networks=2, devices_per_network=devices, seed=17)
         )
         start = time.perf_counter()
         scenario.run_until(12.0)

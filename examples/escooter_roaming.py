@@ -13,13 +13,14 @@ Run:  python examples/escooter_roaming.py
 
 from repro import BillingEngine, DeviceId, FlatTariff
 from repro.device.stack import DeviceConfig, MeteringDevice
+from repro.runtime import build
 from repro.workloads.mobility import MobilityTrace
 from repro.workloads.profiles import EscooterChargeProfile
-from repro.workloads.scenarios import build_paper_testbed
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def main() -> None:
-    scenario = build_paper_testbed(seed=42, enter_devices=False)
+    scenario = build(paper_testbed_spec(seed=42, enter_devices=False))
 
     # Add the e-scooter: a 50 mAh-scale battery charging at 150 mA.
     escooter = MeteringDevice(

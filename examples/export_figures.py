@@ -20,7 +20,8 @@ from pathlib import Path
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.monitoring.html import save_dashboard_html
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def export_fig5(out: Path) -> Path:
@@ -51,7 +52,7 @@ def export_fig6(out: Path) -> list[Path]:
 
 
 def export_dashboards(out: Path) -> list[Path]:
-    scenario = build_paper_testbed(seed=0)
+    scenario = build(paper_testbed_spec(seed=0))
     scenario.run_until(30.0)
     written = []
     for name, unit in scenario.aggregators.items():

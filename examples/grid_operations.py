@@ -24,12 +24,13 @@ from repro.planning import (
     balance_min_max_utilisation,
     greedy_rssi_assignment,
 )
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def demo_attribution() -> None:
     print("=== 1. who is lying? (ground-truth attribution) ===")
-    scenario = build_paper_testbed(seed=8)
+    scenario = build(paper_testbed_spec(seed=8))
     scenario.device("device1").tamper_attack = ScalingAttack(0.5)
     scenario.run_until(40.0)
     result = scenario.aggregator("agg1").attribute_anomaly()
@@ -44,7 +45,7 @@ def demo_attribution() -> None:
 
 def demo_demand() -> None:
     print("=== 2. per-network demand forecast from the ledger ===")
-    scenario = build_paper_testbed(seed=12)
+    scenario = build(paper_testbed_spec(seed=12))
     scenario.run_until(30.0)
     estimator = NetworkDemandEstimator(scenario.chain, interval_s=1.0)
     for network, forecast in estimator.forecast_all(["agg1", "agg2"]).items():

@@ -15,11 +15,12 @@ Run:  python examples/operations_day2.py
 """
 
 from repro.ids import DeviceId
-from repro.workloads.scenarios import build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 def main() -> None:
-    scenario = build_paper_testbed(seed=2024)
+    scenario = build(paper_testbed_spec(seed=2024))
     scenario.run_until(12.0)
     device = scenario.device("device1")
     agg1 = scenario.aggregator("agg1")

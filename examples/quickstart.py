@@ -9,12 +9,12 @@ aggregators' live monitoring, and each device's registration handshake.
 Run:  python examples/quickstart.py
 """
 
-from repro import build_paper_testbed
+from repro import build, paper_testbed_spec
 from repro.monitoring import render_dashboard
 
 
 def main() -> None:
-    scenario = build_paper_testbed(seed=7)
+    scenario = build(paper_testbed_spec(seed=7))
     scenario.run_until(30.0)
 
     print("=== ledger ===")

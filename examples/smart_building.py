@@ -12,11 +12,12 @@ Run:  python examples/smart_building.py
 
 from repro import BillingEngine, DeviceId, TimeOfUseTariff
 from repro.device.app import DemandPredictor, ScheduleOptimizer, TariffWindow
-from repro.workloads.scenarios import build_scaled_scenario
+from repro.runtime import build
+from repro.workloads.scenarios import scaled_spec
 
 
 def main() -> None:
-    scenario = build_scaled_scenario(n_networks=3, devices_per_network=6, seed=99)
+    scenario = build(scaled_spec(n_networks=3, devices_per_network=6, seed=99))
     scenario.run_until(25.0)
     scenario.chain.validate()
 

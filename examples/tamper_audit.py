@@ -14,7 +14,7 @@ Two attacks from the paper's threat model:
 Run:  python examples/tamper_audit.py
 """
 
-from repro import audit_chain, build_paper_testbed
+from repro import audit_chain, build, paper_testbed_spec
 from repro.anomaly import ScalingAttack
 from repro.baselines import NaiveDeviceLog
 from repro.chain import Block
@@ -22,7 +22,7 @@ from repro.chain import Block
 
 def demo_in_device_fraud() -> None:
     print("=== attack 1: in-device under-reporting (50% scaling) ===")
-    scenario = build_paper_testbed(seed=13)
+    scenario = build(paper_testbed_spec(seed=13))
     scenario.device("device1").tamper_attack = ScalingAttack(0.5)
     scenario.run_until(30.0)
     stats = scenario.aggregator("agg1").verifier.stats
@@ -35,7 +35,7 @@ def demo_in_device_fraud() -> None:
 
 def demo_storage_tampering() -> None:
     print("=== attack 2: rewriting stored consumption data ===")
-    scenario = build_paper_testbed(seed=14)
+    scenario = build(paper_testbed_spec(seed=14))
     scenario.run_until(15.0)
     chain = scenario.chain
 

@@ -24,12 +24,15 @@ from repro.experiments import (
     run_handshake_distribution,
 )
 from repro.ids import AggregatorId, DeviceId, NetworkAddress
+from repro.runtime import ScenarioSpec, SimContext, build
 from repro.sim import Simulator
 from repro.workloads import (
     MobilityTrace,
     Scenario,
     build_paper_testbed,
     build_scaled_scenario,
+    paper_testbed_spec,
+    scaled_spec,
 )
 
 __version__ = "1.0.0"
@@ -51,8 +54,13 @@ __all__ = [
     "DeviceId",
     "NetworkAddress",
     "Simulator",
+    "SimContext",
+    "ScenarioSpec",
+    "build",
     "MobilityTrace",
     "Scenario",
+    "paper_testbed_spec",
+    "scaled_spec",
     "build_paper_testbed",
     "build_scaled_scenario",
     "__version__",

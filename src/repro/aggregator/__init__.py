@@ -17,7 +17,7 @@ The trusted per-network component of Fig. 1.  An
 
 from repro.aggregator.aggregation import ReportAggregator
 from repro.aggregator.ledger_writer import LedgerWriter
-from repro.aggregator.membership import MembershipRegistry, MembershipKind
+from repro.aggregator.membership import MembershipKind, MembershipRegistry
 from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
 from repro.aggregator.verification import ReportVerifier, VerificationPolicy
 

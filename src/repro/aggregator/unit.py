@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.aggregator.aggregation import ReportAggregator
 from repro.aggregator.ledger_writer import LedgerWriter
@@ -48,6 +48,9 @@ from repro.protocol.messages import (
 )
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+
+if TYPE_CHECKING:
+    from repro.runtime.context import SimContext
 
 
 @dataclass(frozen=True)
@@ -107,7 +110,9 @@ class AggregatorUnit(Process):
     """One aggregator: broker host, verifier, ledger writer, liaison.
 
     Args:
-        simulator: The kernel.
+        runtime: The kernel, or a shared :class:`SimContext` (the broker
+            and time-sync sub-processes inherit it, so all of the unit's
+            actors emit into the same counter bank and trace stream).
         aggregator_id: This unit's identity (names its WAN).
         chain: The common permissioned blockchain.
         mesh: The inter-aggregator backhaul.
@@ -117,18 +122,18 @@ class AggregatorUnit(Process):
 
     def __init__(
         self,
-        simulator: Simulator,
+        runtime: "Simulator | SimContext",
         aggregator_id: AggregatorId,
         chain: Blockchain,
         mesh: BackhaulMesh,
         grid_network: GridNetwork,
         config: AggregatorConfig | None = None,
     ) -> None:
-        super().__init__(simulator, aggregator_id.name)
+        super().__init__(runtime, aggregator_id.name)
         self._aggregator_id = aggregator_id
         self._config = config or AggregatorConfig()
         self._host = RaspberryPi(self.rng("host"))
-        self._broker = MqttBroker(simulator, f"{aggregator_id.name}-broker")
+        self._broker = MqttBroker(self.context, f"{aggregator_id.name}-broker")
         self._tdma = TdmaSchedule(self._config.t_measure_s, self._config.slot_count)
         self._registry = MembershipRegistry(aggregator_id, self._tdma)
         self._meter = FeederMeter(grid_network, self.rng("feeder-sensor"))
@@ -139,7 +144,7 @@ class AggregatorUnit(Process):
             aggregator_id, mesh, retry=self._config.verify_retry
         )
         self._timesync = TimeSyncService(
-            simulator, f"{aggregator_id.name}-timesync", self._config.timesync_interval_s
+            self.context, f"{aggregator_id.name}-timesync", self._config.timesync_interval_s
         )
         self._bank = SeriesBank()
         self._started = False
@@ -282,12 +287,14 @@ class AggregatorUnit(Process):
 
     def _ack(self, device_id: DeviceId, sequence: int | None = None) -> None:
         self._acks_sent += 1
+        self.count("acks_sent")
         self._send_to_device(device_id, Ack(device_id, sequence))
 
     def _nack(
         self, device_id: DeviceId, reason: NackReason, sequence: int | None = None
     ) -> None:
         self._nacks_sent += 1
+        self.count("nacks_sent")
         self._send_to_device(device_id, Nack(device_id, reason, sequence))
 
     # -- registration (Fig. 3, sequences 1 and 2) ---------------------------
@@ -687,6 +694,7 @@ class AggregatorUnit(Process):
     def _flush_block(self) -> None:
         blocks = self._writer.flush(self.now)
         if blocks:
+            self.count("blocks_written", len(blocks))
             self.trace(
                 "agg.blocks_written",
                 count=len(blocks),

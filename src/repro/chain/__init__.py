@@ -21,10 +21,10 @@ from repro.chain.audit import AuditReport, audit_chain
 from repro.chain.block import Block, BlockHeader
 from repro.chain.consensus import PoaConsensus, Validator, Vote
 from repro.chain.consensus_net import NetworkedPoaConsensus, NetworkedValidator
-from repro.chain.pbft import PbftCluster, PbftReplica
 from repro.chain.hashing import canonical_bytes, sha256_hex
 from repro.chain.ledger import Blockchain
 from repro.chain.merkle import MerkleTree, merkle_root
+from repro.chain.pbft import PbftCluster, PbftReplica
 from repro.chain.receipts import InclusionReceipt, find_and_issue, issue_receipt
 from repro.chain.store import BlockStore, InMemoryBlockStore, JsonlBlockStore
 

@@ -11,12 +11,15 @@ experiments.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.chain.block import Block
 from repro.chain.hashing import GENESIS_HASH
 from repro.chain.store import BlockStore, InMemoryBlockStore
 from repro.errors import BlockValidationError, ChainError
+
+if TYPE_CHECKING:
+    from repro.monitoring.counters import CounterBank
 
 
 class Blockchain:
@@ -26,15 +29,19 @@ class Blockchain:
         store: Storage backend; defaults to in-memory.
         authorized: Optional set of aggregator names allowed to append
             (the "permissioned" part).  ``None`` allows any appender.
+        counters: Optional shared counter bank; appends are recorded as
+            ``chain.blocks_appended`` / ``chain.records_appended``.
     """
 
     def __init__(
         self,
         store: BlockStore | None = None,
         authorized: set[str] | None = None,
+        counters: "CounterBank | None" = None,
     ) -> None:
         self._store = store or InMemoryBlockStore()
         self._authorized = set(authorized) if authorized is not None else None
+        self._counters = counters
         existing = self._store.height()
         if existing > 0:
             tip = self._store.get(existing - 1)
@@ -85,6 +92,10 @@ class Blockchain:
         )
         self._store.put(block)
         self._tip_hash = block.block_hash
+        if self._counters is not None:
+            self._counters.increment("chain.blocks_appended")
+            if records:
+                self._counters.increment("chain.records_appended", len(records))
         return block
 
     def get(self, height: int) -> Block:

@@ -1,17 +1,20 @@
 """Command-line entry point: ``repro-experiments``.
 
-Regenerates the paper's figures/statistics as text:
+Regenerates the paper's figures/statistics as text, or runs a
+spec-file-described scenario end to end:
 
 .. code-block:: console
 
     $ repro-experiments --list
     $ repro-experiments fig5 fig6
     $ repro-experiments            # everything
+    $ repro-experiments --scenario spec.json --until 30
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -40,7 +43,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each experiment's output to DIR/<name>.txt",
     )
+    parser.add_argument(
+        "--scenario",
+        metavar="SPEC_JSON",
+        help=(
+            "build the ScenarioSpec in this JSON file, run it and print the "
+            "snapshot as JSON (ignores experiment names)"
+        ),
+    )
+    parser.add_argument(
+        "--until",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="simulated time to run a --scenario world to (default: 30)",
+    )
     return parser
+
+
+def run_scenario_file(path: str, until: float) -> dict:
+    """Build the spec in ``path``, run it and return the snapshot."""
+    from repro.runtime import ScenarioSpec, build
+
+    spec = ScenarioSpec.from_json(Path(path).read_text())
+    scenario = build(spec)
+    scenario.run_until(until)
+    return scenario.snapshot()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,6 +77,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         for name in EXPERIMENTS:
             print(name)
+        return 0
+    if args.scenario:
+        snapshot = run_scenario_file(args.scenario, args.until)
+        text = json.dumps(snapshot, indent=2, default=str)
+        print(text)
+        if args.out:
+            out_dir = Path(args.out)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            (out_dir / "scenario_snapshot.json").write_text(text + "\n")
         return 0
     names = args.experiments or None
     outputs = run_all(names)

@@ -22,8 +22,8 @@ from typing import Any, Callable
 from repro.chain.consensus_net import NetworkedPoaConsensus, NetworkedValidator
 from repro.chain.hashing import hash_value
 from repro.chain.ledger import Blockchain
-from repro.device.metering import EnergyMeter, Measurement
 from repro.device.firmware import Firmware
+from repro.device.metering import EnergyMeter, Measurement
 from repro.errors import ConsensusError
 from repro.hw.ina219 import Ina219, Ina219Config
 from repro.ids import AggregatorId, DeviceId

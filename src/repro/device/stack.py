@@ -51,6 +51,7 @@ from repro.protocol.messages import (
 if TYPE_CHECKING:
     from repro.chain.receipts import InclusionReceipt
     from repro.net.timesync import TimeSyncService
+    from repro.runtime.context import SimContext
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 from repro.units import energy_mwh
@@ -147,7 +148,9 @@ class MeteringDevice(Process):
     """One IoT-enabled device with in-device metering.
 
     Args:
-        simulator: The kernel.
+        runtime: The kernel, or a shared :class:`SimContext` (the MQTT
+            client inherits it, so the whole device stack emits into the
+            same counter bank and trace stream).
         device_id: Identity of this device.
         config: Static configuration.
         grid: The electrical topology (for attach/detach).
@@ -158,14 +161,14 @@ class MeteringDevice(Process):
 
     def __init__(
         self,
-        simulator: Simulator,
+        runtime: "Simulator | SimContext",
         device_id: DeviceId,
         config: DeviceConfig,
         grid: GridTopology,
         channel: WirelessChannel,
         load_profile: LoadProfile,
     ) -> None:
-        super().__init__(simulator, device_id.name)
+        super().__init__(runtime, device_id.name)
         self._device_id = device_id
         self._config = config
         self._grid = grid
@@ -180,9 +183,9 @@ class MeteringDevice(Process):
         self._store = LocalStore(config.storage_capacity)
         self._fsm = DeviceFsm(device_id)
         self._firmware = Firmware(
-            simulator, self._meter, self._on_measurement, config.t_measure_s
+            self.sim, self._meter, self._on_measurement, config.t_measure_s
         )
-        self._client = MqttClient(simulator, f"{device_id.name}-mqtt", channel)
+        self._client = MqttClient(self.context, f"{device_id.name}-mqtt", channel)
 
         # The paper's threat model: "in-device energy metering is
         # susceptible to manipulation and fraud".  Installing an attack
@@ -492,6 +495,7 @@ class MeteringDevice(Process):
         else:
             self._store.store(report)
             self._reports_buffered += 1
+            self.count("reports_buffered")
             self.trace("device.buffer", sequence=report.sequence)
 
     def _restamp_addresses(self, report: ConsumptionReport) -> ConsumptionReport:
@@ -523,6 +527,7 @@ class MeteringDevice(Process):
         self._mcu.set_state(McuState.IDLE, self.now)
         if delivered:
             self._reports_sent += 1
+            self.count("reports_sent")
             # Remember until Ack'd so a NOT_A_MEMBER Nack (foreign
             # network) can re-buffer the data instead of losing it.
             self._inflight[report.sequence] = report
@@ -537,6 +542,7 @@ class MeteringDevice(Process):
             # All QoS-1 retries failed (deep fade): keep the data.
             self._store.store(report)
             self._reports_buffered += 1
+            self.count("reports_buffered")
 
     def _recover_inflight(self) -> None:
         """Tear down the in-flight window on a session loss.
@@ -574,6 +580,7 @@ class MeteringDevice(Process):
             self._report_attempts[sequence] = failures
             if failures == policy.max_attempts:
                 self._retry_exhausted += 1
+                self.count("retry_exhausted")
                 self.trace(
                     "device.retry_exhausted", sequence=sequence, attempts=failures
                 )
@@ -581,10 +588,12 @@ class MeteringDevice(Process):
             return
         self._report_attempts[sequence] = failures
         self._report_timeouts += 1
+        self.count("report_timeouts")
         self._store.store(report)
         self.trace("device.report_timeout", sequence=sequence, attempt=failures)
         backoff = policy.backoff_s(failures, self.rng("retry"))
         self._flush_retries += 1
+        self.count("flush_retries")
         self.sim.call_later(
             backoff, self._flush_buffer, label=f"{self.name}:flush-retry"
         )
@@ -708,6 +717,7 @@ class MeteringDevice(Process):
         if not self._client.connected:
             return
         self._registration_timeouts += 1
+        self.count("registration_timeouts")
         self.trace("device.registration_timeout")
         self._send_registration(
             RegistrationRequest(self._device_id, master=self._fsm.master)

@@ -13,13 +13,6 @@ One module per paper artifact (see DESIGN.md §4):
 * :mod:`repro.experiments.report` — text rendering of all results.
 """
 
-from repro.experiments.fig5 import Fig5Result, IntervalRow, run_fig5
-from repro.experiments.fig6 import (
-    Fig6Result,
-    HandshakeStats,
-    run_fig6,
-    run_handshake_distribution,
-)
 from repro.experiments.ablations import (
     run_anomaly_ablation,
     run_handshake_stage_ablation,
@@ -34,6 +27,13 @@ from repro.experiments.faults import (
     run_crash_chaos,
     run_fault_sweep,
     settle_and_measure,
+)
+from repro.experiments.fig5 import Fig5Result, IntervalRow, run_fig5
+from repro.experiments.fig6 import (
+    Fig6Result,
+    HandshakeStats,
+    run_fig6,
+    run_handshake_distribution,
 )
 from repro.experiments.report import render_fig5, render_fig6, render_table
 

@@ -35,8 +35,9 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6, run_handshake_distribution
 from repro.hw.ina219 import Ina219Config
 from repro.hw.powerline import WireSegment
+from repro.runtime import build
 from repro.workloads.profiles import DutyCycleProfile
-from repro.workloads.scenarios import build_paper_testbed
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 # -- A1: error-source attribution -------------------------------------------
@@ -70,8 +71,8 @@ def run_sensor_ablation(
     for offset in offsets_ma:
         for resistance, leakage in wires:
             sensor = Ina219Config(offset_max_ma=offset)
-            scenario = build_paper_testbed(
-                seed=seed,
+            scenario = build(
+                paper_testbed_spec(seed=seed),
                 device_config=DeviceConfig(sensor=sensor),
                 segment=WireSegment(resistance_ohms=resistance, leakage_ma=leakage),
             )
@@ -122,7 +123,9 @@ def run_handshake_stage_ablation(runs: int = 10, base_seed: int = 0) -> Handshak
     # Re-run each world to pull the per-stage breakdown (the distribution
     # helper discards the scenario); seeds match so stages correspond.
     for index in range(runs):
-        scenario = build_paper_testbed(seed=base_seed + 1000 * index, enter_devices=False)
+        scenario = build(
+            paper_testbed_spec(seed=base_seed + 1000 * index, enter_devices=False)
+        )
         from repro.workloads.mobility import MobilityTrace
 
         scenario.schedule_mobility(

@@ -18,13 +18,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
-from repro.faults import FaultPlan, LinkFaultSpec
+from repro.faults import FaultPlan
+from repro.runtime import FaultSpec, build
 from repro.workloads.scenarios import (
     Scenario,
-    _chaos_device_config,
     build_blackout_scenario,
     build_crash_scenario,
-    build_paper_testbed,
+    paper_testbed_spec,
 )
 
 
@@ -187,21 +187,23 @@ def run_fault_sweep(
     for intensity in intensities:
         if not 0.0 <= intensity < 1.0:
             raise ExperimentError(f"intensity must be in [0, 1), got {intensity}")
-        scenario = build_paper_testbed(
+        spec = paper_testbed_spec(
             seed=seed,
-            device_config=_chaos_device_config(0.1, retry),
+            device_retry=retry,
+            name="paper-testbed-broker-noise",
+            faults=tuple(
+                FaultSpec(
+                    kind="broker_noise",
+                    name=f"{agg_name}-loss",
+                    start_at=0.0,
+                    target=agg_name,
+                    params={"drop_p": intensity * 0.7, "corrupt_p": intensity * 0.3},
+                )
+                for agg_name in ("agg1", "agg2")
+            ),
         )
-        plan = FaultPlan(scenario.simulator)
-        for agg_name, unit in scenario.aggregators.items():
-            injector = plan.make_injector(f"broker:{agg_name}")
-            unit.broker.set_fault_injector(injector)
-            plan.link_noise(
-                f"{agg_name}-loss",
-                injector,
-                LinkFaultSpec(drop_p=intensity * 0.7, corrupt_p=intensity * 0.3),
-                start_at=0.0,
-            )
-        result = settle_and_measure(scenario, plan, run_s, seed=seed)
+        scenario = build(spec)
+        result = settle_and_measure(scenario, scenario.fault_plan, run_s, seed=seed)
         points.append(
             SweepPoint(
                 intensity=intensity,

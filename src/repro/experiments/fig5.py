@@ -21,7 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ExperimentError
-from repro.workloads.scenarios import Scenario, build_paper_testbed
+from repro.runtime import build
+from repro.workloads.scenarios import Scenario, paper_testbed_spec
 
 
 @dataclass(frozen=True)
@@ -123,7 +124,7 @@ def run_fig5(
     """
     if warmup_s >= duration_s:
         raise ExperimentError(f"warmup {warmup_s} must be < duration {duration_s}")
-    world = scenario or build_paper_testbed(seed=seed)
+    world = scenario or build(paper_testbed_spec(seed=seed))
     world.run_until(duration_s)
 
     result = Fig5Result()

@@ -16,8 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.runtime import build
 from repro.workloads.mobility import MobilityTrace
-from repro.workloads.scenarios import build_paper_testbed
+from repro.workloads.scenarios import paper_testbed_spec
 
 
 @dataclass
@@ -66,7 +67,7 @@ def run_fig6(
     """
     if min(phase1_s, idle_s, phase2_s) <= 0:
         raise ExperimentError("all phases must be positive")
-    scenario = build_paper_testbed(seed=seed, enter_devices=False)
+    scenario = build(paper_testbed_spec(seed=seed, enter_devices=False))
     # Stationary devices enter their homes normally.
     scenario.enter_at("device2", "agg1", 0.0)
     scenario.enter_at("device3", "agg2", 0.0)
@@ -165,7 +166,9 @@ def run_handshake_distribution(
         raise ExperimentError(f"need at least one run, got {runs}")
     samples: list[float] = []
     for index in range(runs):
-        scenario = build_paper_testbed(seed=base_seed + 1000 * index, enter_devices=False)
+        scenario = build(
+            paper_testbed_spec(seed=base_seed + 1000 * index, enter_devices=False)
+        )
         scenario.schedule_mobility(
             "device1",
             MobilityTrace.single_move(

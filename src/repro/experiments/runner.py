@@ -85,11 +85,12 @@ def _run_anomaly_ablation() -> str:
 
 def _run_attribution() -> str:
     from repro.anomaly import ScalingAttack
-    from repro.workloads.scenarios import build_paper_testbed
+    from repro.runtime import build
+    from repro.workloads.scenarios import paper_testbed_spec
 
     rows = []
     for factor in (1.0, 0.5):
-        scenario = build_paper_testbed(seed=8)
+        scenario = build(paper_testbed_spec(seed=8))
         if factor != 1.0:
             scenario.device("device1").tamper_attack = ScalingAttack(factor)
         scenario.run_until(35.0)

@@ -63,9 +63,10 @@ def _check_handshake() -> CheckResult:
 
 
 def _check_tamper() -> CheckResult:
-    from repro.workloads.scenarios import build_paper_testbed
+    from repro.runtime import build
+    from repro.workloads.scenarios import paper_testbed_spec
 
-    scenario = build_paper_testbed(seed=2)
+    scenario = build(paper_testbed_spec(seed=2))
     scenario.run_until(8.0)
     chain = scenario.chain
     store = chain._store
@@ -85,9 +86,10 @@ def _check_tamper() -> CheckResult:
 
 def _check_fraud() -> CheckResult:
     from repro.anomaly import ScalingAttack
-    from repro.workloads.scenarios import build_paper_testbed
+    from repro.runtime import build
+    from repro.workloads.scenarios import paper_testbed_spec
 
-    scenario = build_paper_testbed(seed=3)
+    scenario = build(paper_testbed_spec(seed=3))
     scenario.device("device1").tamper_attack = ScalingAttack(0.5)
     scenario.run_until(20.0)
     stats = scenario.aggregator("agg1").verifier.stats

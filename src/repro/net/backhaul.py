@@ -13,7 +13,7 @@ link latencies plus per-hop forwarding cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import networkx as nx
 
@@ -22,6 +22,9 @@ from repro.faults.injectors import FaultAction, LinkFaultInjector
 from repro.ids import AggregatorId
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+
+if TYPE_CHECKING:
+    from repro.runtime.context import SimContext
 
 BackhaulHandler = Callable[[AggregatorId, Any], None]
 
@@ -45,12 +48,14 @@ class BackhaulMesh(Process):
     """Routes messages between aggregators over the mesh graph.
 
     Args:
-        simulator: The kernel.
+        runtime: The kernel, or a shared :class:`SimContext`.
         per_hop_cost_s: Forwarding cost added at each intermediate hop.
     """
 
-    def __init__(self, simulator: Simulator, per_hop_cost_s: float = 0.0002) -> None:
-        super().__init__(simulator, "backhaul")
+    def __init__(
+        self, runtime: "Simulator | SimContext", per_hop_cost_s: float = 0.0002
+    ) -> None:
+        super().__init__(runtime, "backhaul")
         if per_hop_cost_s < 0:
             raise BackhaulError(f"per-hop cost must be >= 0, got {per_hop_cost_s}")
         self._graph = nx.Graph()
@@ -186,6 +191,7 @@ class BackhaulMesh(Process):
             raise BackhaulError(f"unknown destination {destination}")
         if self._severed(source, destination):
             self._messages_dropped += 1
+            self.count("messages_dropped")
             self.trace(
                 "backhaul.drop_severed", source=str(source), destination=str(destination)
             )
@@ -201,6 +207,7 @@ class BackhaulMesh(Process):
                 verdict = injector.message_verdict()
                 if verdict in (FaultAction.DROP, FaultAction.CORRUPT):
                     self._messages_dropped += 1
+                    self.count("messages_dropped")
                     self.trace(
                         "backhaul.drop_fault",
                         source=str(source),
@@ -213,12 +220,14 @@ class BackhaulMesh(Process):
                 elif verdict is FaultAction.DUPLICATE:
                     copies = 2
         self._messages_sent += 1
+        self.count("messages_sent")
         self.trace("backhaul.send", source=str(source), destination=str(destination))
 
         def _arrive() -> None:
             if destination in self._down:
                 # Crashed while the message was in flight.
                 self._messages_dropped += 1
+                self.count("messages_dropped")
                 self.trace("backhaul.drop_down", destination=str(destination))
                 return
             handler(source, payload)

@@ -18,6 +18,7 @@ from repro.errors import ChannelError, ConfigError
 
 if TYPE_CHECKING:
     from repro.faults.injectors import LinkFaultInjector
+    from repro.monitoring.counters import CounterBank
 
 
 @dataclass(frozen=True)
@@ -65,12 +66,21 @@ class WirelessChannel:
     Args:
         params: Radio-environment parameters.
         rng: Random stream for shadowing and per-packet error draws.
+        counters: Optional shared counter bank; losses are recorded as
+            ``channel.packets_blocked`` (fault injector) and
+            ``channel.packets_lost`` (RSSI draw).
     """
 
-    def __init__(self, params: ChannelParams, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        params: ChannelParams,
+        rng: np.random.Generator,
+        counters: "CounterBank | None" = None,
+    ) -> None:
         self._params = params
         self._rng = rng
         self._injector: "LinkFaultInjector | None" = None
+        self._counters = counters
 
     @property
     def params(self) -> ChannelParams:
@@ -124,8 +134,13 @@ class WirelessChannel:
         RSSI.
         """
         if self._injector is not None and self._injector.packet_blocked():
+            if self._counters is not None:
+                self._counters.increment("channel.packets_blocked")
             return True
-        return bool(self._rng.random() < self.packet_error_rate(rssi_dbm))
+        lost = bool(self._rng.random() < self.packet_error_rate(rssi_dbm))
+        if lost and self._counters is not None:
+            self._counters.increment("channel.packets_lost")
+        return lost
 
     def airtime_s(self, payload_bytes: int, overhead_bytes: int = 60) -> float:
         """Transmission time of one frame at the configured PHY rate."""

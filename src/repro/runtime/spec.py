@@ -1,0 +1,449 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the *shape* of a simulation world as plain
+data: which networks exist, which devices live in them and under what
+load profile, how the backhaul mesh is wired, and which faults strike
+when.  Specs round-trip losslessly through JSON (``to_dict`` /
+``from_dict``), so a scenario can live in a file, travel in an
+experiment report, or be generated programmatically for sweeps —
+protocol-parameter studies demand that scenario shape be data, not
+code.
+
+:func:`repro.runtime.build.build` compiles a spec into a fully wired
+:class:`~repro.runtime.scenario.Scenario`; the canonical shapes (the
+paper's 2x2 testbed, the scaled N x M worlds, the chaos variants) are
+produced by the thin factories in :mod:`repro.workloads.scenarios`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ConfigError
+
+PROFILE_KINDS = ("constant", "duty_cycle", "sinusoid")
+MESH_TOPOLOGIES = ("full", "line", "star", "explicit")
+FAULT_KINDS = (
+    "channel_blackout",
+    "channel_noise",
+    "broker_noise",
+    "aggregator_crash",
+    "backhaul_partition",
+)
+
+
+def _require_keys(data: dict, allowed: set[str], what: str) -> None:
+    unknown = set(data) - allowed
+    if unknown:
+        raise ConfigError(f"unknown {what} keys: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """A load-current profile as data.
+
+    Attributes:
+        kind: One of ``constant`` / ``duty_cycle`` / ``sinusoid``.
+        params: Keyword arguments of the profile class (e.g.
+            ``{"mean_ma": 120.0, "amplitude_ma": 100.0}``).
+    """
+
+    kind: str
+    params: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROFILE_KINDS:
+            raise ConfigError(
+                f"profile kind must be one of {PROFILE_KINDS}, got {self.kind!r}"
+            )
+
+    def build(self) -> Callable[[float], float]:
+        """Instantiate the deterministic ``t -> mA`` callable."""
+        # Imported lazily: repro.workloads.* imports repro.runtime at
+        # module level, so the reverse edge must resolve at call time.
+        from repro.workloads.profiles import (
+            ConstantProfile,
+            DutyCycleProfile,
+            SinusoidProfile,
+        )
+
+        classes = {
+            "constant": ConstantProfile,
+            "duty_cycle": DutyCycleProfile,
+            "sinusoid": SinusoidProfile,
+        }
+        try:
+            return classes[self.kind](**self.params)
+        except TypeError as exc:
+            raise ConfigError(f"bad {self.kind} profile params {self.params}: {exc}") from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProfileSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(data, {"kind", "params"}, "profile")
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """One grid network and its aggregator.
+
+    Attributes:
+        name: Aggregator / network name (``agg1``, ``net-0``, ...).
+        supply_voltage_v: Grid-side supply voltage of the network.
+        wire_resistance_ohms: Default feeder wire resistance.
+        wire_leakage_ma: Default feeder leakage current.
+        slot_count: TDMA slots (None: the aggregator default, or the
+            builder's devices-derived choice).
+    """
+
+    name: str
+    supply_voltage_v: float = 5.0
+    wire_resistance_ohms: float = 0.1
+    wire_leakage_ma: float = 2.5
+    slot_count: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("network name must be non-empty")
+        if self.supply_voltage_v <= 0:
+            raise ConfigError(
+                f"supply voltage must be positive, got {self.supply_voltage_v}"
+            )
+        if self.slot_count is not None and self.slot_count < 1:
+            raise ConfigError(f"slot count must be >= 1, got {self.slot_count}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "name": self.name,
+            "supply_voltage_v": self.supply_voltage_v,
+            "wire_resistance_ohms": self.wire_resistance_ohms,
+            "wire_leakage_ma": self.wire_leakage_ma,
+            "slot_count": self.slot_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "NetworkSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"name", "supply_voltage_v", "wire_resistance_ohms", "wire_leakage_ma",
+             "slot_count"},
+            "network",
+        )
+        return cls(
+            name=data["name"],
+            supply_voltage_v=data.get("supply_voltage_v", 5.0),
+            wire_resistance_ohms=data.get("wire_resistance_ohms", 0.1),
+            wire_leakage_ma=data.get("wire_leakage_ma", 2.5),
+            slot_count=data.get("slot_count"),
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One metering device.
+
+    Attributes:
+        name: Device name.
+        network: Home network it is scheduled to enter.
+        profile: Load profile specification.
+        enter_at: When the device enters its home network (None: never —
+            a mobility itinerary or manual :meth:`Scenario.enter_at`
+            drives it instead).
+        distance_m: Radio distance to the home AP on entry.
+    """
+
+    name: str
+    network: str
+    profile: ProfileSpec
+    enter_at: float | None = 0.0
+    distance_m: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("device name must be non-empty")
+        if self.enter_at is not None and self.enter_at < 0:
+            raise ConfigError(f"enter_at must be >= 0, got {self.enter_at}")
+        if self.distance_m <= 0:
+            raise ConfigError(f"distance must be positive, got {self.distance_m}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "name": self.name,
+            "network": self.network,
+            "profile": self.profile.to_dict(),
+            "enter_at": self.enter_at,
+            "distance_m": self.distance_m,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DeviceSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data, {"name", "network", "profile", "enter_at", "distance_m"}, "device"
+        )
+        return cls(
+            name=data["name"],
+            network=data["network"],
+            profile=ProfileSpec.from_dict(data["profile"]),
+            enter_at=data.get("enter_at", 0.0),
+            distance_m=data.get("distance_m", 5.0),
+        )
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Backhaul mesh shape.
+
+    Attributes:
+        topology: ``full`` (every pair linked), ``line`` (a chain in
+            network order), ``star`` (everyone through the first
+            network), or ``explicit`` (exactly :attr:`links`).
+        latency_s: Latency of every link.
+        links: Explicit ``(a, b)`` name pairs (``explicit`` only).
+    """
+
+    topology: str = "full"
+    latency_s: float = 0.001
+    links: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.topology not in MESH_TOPOLOGIES:
+            raise ConfigError(
+                f"mesh topology must be one of {MESH_TOPOLOGIES}, got {self.topology!r}"
+            )
+        if self.latency_s <= 0:
+            raise ConfigError(f"mesh latency must be positive, got {self.latency_s}")
+        if self.links and self.topology != "explicit":
+            raise ConfigError("explicit links require topology='explicit'")
+
+    def resolve_links(self, names: list[str]) -> list[tuple[str, str]]:
+        """The concrete link list for networks ``names`` (in order)."""
+        if self.topology == "full":
+            return [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        if self.topology == "line":
+            return list(zip(names, names[1:]))
+        if self.topology == "star":
+            return [(names[0], other) for other in names[1:]]
+        return [tuple(pair) for pair in self.links]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "topology": self.topology,
+            "latency_s": self.latency_s,
+            "links": [list(pair) for pair in self.links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MeshSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(data, {"topology", "latency_s", "links"}, "mesh")
+        return cls(
+            topology=data.get("topology", "full"),
+            latency_s=data.get("latency_s", 0.001),
+            links=tuple(tuple(pair) for pair in data.get("links", [])),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named fault window.
+
+    Attributes:
+        kind: ``channel_blackout`` / ``channel_noise`` / ``broker_noise``
+            / ``aggregator_crash`` / ``backhaul_partition``.
+        name: Unique fault name (counters appear as
+            ``fault.<name>.activations``).
+        start_at: When the fault strikes.
+        duration_s: Window length (None: open-ended noise).
+        target: The struck component — the injector name for channel
+            faults, the network name for broker/aggregator faults.
+        groups: Partition groups of network names
+            (``backhaul_partition`` only).
+        params: Noise probabilities (``drop_p``, ``duplicate_p``,
+            ``delay_p``, ``delay_s``, ``corrupt_p``) for noise kinds.
+    """
+
+    kind: str
+    name: str
+    start_at: float
+    duration_s: float | None = None
+    target: str | None = None
+    groups: tuple[tuple[str, ...], ...] = ()
+    params: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not self.name:
+            raise ConfigError("fault name must be non-empty")
+        if self.start_at < 0:
+            raise ConfigError(f"fault start must be >= 0, got {self.start_at}")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ConfigError(
+                f"fault duration must be positive, got {self.duration_s}"
+            )
+        if self.kind in ("channel_blackout", "aggregator_crash") and self.duration_s is None:
+            raise ConfigError(f"{self.kind} fault {self.name!r} needs a duration")
+        if self.kind == "backhaul_partition":
+            if self.duration_s is None:
+                raise ConfigError(f"partition fault {self.name!r} needs a duration")
+            if len(self.groups) < 2:
+                raise ConfigError(f"partition fault {self.name!r} needs >= 2 groups")
+        if self.kind in ("broker_noise", "aggregator_crash") and not self.target:
+            raise ConfigError(f"{self.kind} fault {self.name!r} needs a target")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "start_at": self.start_at,
+            "duration_s": self.duration_s,
+            "target": self.target,
+            "groups": [list(group) for group in self.groups],
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"kind", "name", "start_at", "duration_s", "target", "groups", "params"},
+            "fault",
+        )
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            start_at=data["start_at"],
+            duration_s=data.get("duration_s"),
+            target=data.get("target"),
+            groups=tuple(tuple(group) for group in data.get("groups", [])),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete simulation world as data.
+
+    Attributes:
+        name: Human-readable scenario name (provenance only).
+        seed: Master seed for every random stream.
+        t_measure_s: Reporting interval shared by devices/aggregators.
+        device_retry: Whether devices run the Ack-timeout retry path.
+        networks: The grid networks (one aggregator each).
+        devices: The metering devices.
+        mesh: Backhaul shape over the networks.
+        faults: Deterministic fault schedule (empty: a clean world).
+    """
+
+    networks: tuple[NetworkSpec, ...]
+    devices: tuple[DeviceSpec, ...] = ()
+    name: str = "scenario"
+    seed: int = 0
+    t_measure_s: float = 0.1
+    device_retry: bool = True
+    mesh: MeshSpec = field(default_factory=MeshSpec)
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ConfigError(f"seed must be a non-negative int, got {self.seed!r}")
+        if self.t_measure_s <= 0:
+            raise ConfigError(f"t_measure must be positive, got {self.t_measure_s}")
+        if not self.networks:
+            raise ConfigError("a scenario needs at least one network")
+        network_names = [n.name for n in self.networks]
+        if len(set(network_names)) != len(network_names):
+            raise ConfigError(f"duplicate network names in {network_names}")
+        device_names = [d.name for d in self.devices]
+        if len(set(device_names)) != len(device_names):
+            raise ConfigError(f"duplicate device names in {device_names}")
+        known = set(network_names)
+        for device in self.devices:
+            if device.network not in known:
+                raise ConfigError(
+                    f"device {device.name!r} references unknown network "
+                    f"{device.network!r} (have {sorted(known)})"
+                )
+        for a, b in self.mesh.resolve_links(network_names):
+            if a not in known or b not in known:
+                raise ConfigError(f"mesh link ({a!r}, {b!r}) references unknown network")
+        fault_names = [f.name for f in self.faults]
+        if len(set(fault_names)) != len(fault_names):
+            raise ConfigError(f"duplicate fault names in {fault_names}")
+        for fault in self.faults:
+            if fault.kind in ("broker_noise", "aggregator_crash") and fault.target not in known:
+                raise ConfigError(
+                    f"fault {fault.name!r} targets unknown network {fault.target!r}"
+                )
+            for group in fault.groups:
+                for member in group:
+                    if member not in known:
+                        raise ConfigError(
+                            f"fault {fault.name!r} partitions unknown network {member!r}"
+                        )
+
+    @property
+    def network_names(self) -> list[str]:
+        """Network names in declaration order."""
+        return [n.name for n in self.networks]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form; :meth:`from_dict` inverts it exactly."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "t_measure_s": self.t_measure_s,
+            "device_retry": self.device_retry,
+            "networks": [n.to_dict() for n in self.networks],
+            "devices": [d.to_dict() for d in self.devices],
+            "mesh": self.mesh.to_dict(),
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
+             "mesh", "faults"},
+            "scenario",
+        )
+        return cls(
+            name=data.get("name", "scenario"),
+            seed=data.get("seed", 0),
+            t_measure_s=data.get("t_measure_s", 0.1),
+            device_retry=data.get("device_retry", True),
+            networks=tuple(NetworkSpec.from_dict(n) for n in data.get("networks", [])),
+            devices=tuple(DeviceSpec.from_dict(d) for d in data.get("devices", [])),
+            mesh=MeshSpec.from_dict(data["mesh"]) if "mesh" in data else MeshSpec(),
+            faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", [])),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize to a JSON document."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a JSON document produced by :meth:`to_json`."""
+        import json
+
+        return cls.from_dict(json.loads(text))

@@ -2,23 +2,40 @@
 
 A :class:`Process` is anything with a name that lives on a simulator:
 devices, aggregators, brokers, channels.  It standardises access to the
-clock, per-actor random streams and tracing so subclasses stay small.
+clock, per-actor random streams, tracing and the shared counter bank so
+subclasses stay small.
+
+A process is constructed from either a bare
+:class:`~repro.sim.kernel.Simulator` (it gets a private
+:class:`~repro.runtime.context.SimContext` with its own counter bank —
+the unit-test path) or a shared ``SimContext`` (what
+:func:`repro.runtime.build.build` passes), in which case every actor in
+the world emits into the same counters and trace stream.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.sim.kernel import Simulator
 
+if TYPE_CHECKING:
+    from repro.monitoring.counters import CounterBank
+    from repro.runtime.context import SimContext
+
 
 class Process:
-    """A named actor bound to a :class:`~repro.sim.kernel.Simulator`."""
+    """A named actor bound to a kernel via a :class:`SimContext`."""
 
-    def __init__(self, simulator: Simulator, name: str) -> None:
-        self._sim = simulator
+    def __init__(self, runtime: "Simulator | SimContext", name: str) -> None:
+        # Imported lazily: repro.runtime imports repro.sim at module
+        # level, so the reverse edge must resolve at call time.
+        from repro.runtime.context import coerce_context
+
+        self._context = coerce_context(runtime)
+        self._sim = self._context.simulator
         self._name = name
 
     @property
@@ -27,8 +44,18 @@ class Process:
         return self._sim
 
     @property
+    def context(self) -> "SimContext":
+        """The runtime context this process was constructed from."""
+        return self._context
+
+    @property
+    def counters(self) -> "CounterBank":
+        """The counter bank this actor emits into (shared via context)."""
+        return self._context.counters
+
+    @property
     def name(self) -> str:
-        """Human-readable actor name (used in traces)."""
+        """Human-readable actor name (used in traces and counters)."""
         return self._name
 
     @property
@@ -39,6 +66,16 @@ class Process:
     def rng(self, purpose: str = "default") -> np.random.Generator:
         """Random stream private to this actor and ``purpose``."""
         return self._sim.rng.stream(f"{self._name}:{purpose}")
+
+    def count(self, metric: str, by: int = 1) -> int:
+        """Increment this actor's ``metric`` in the shared counter bank.
+
+        Counters are namespaced by actor name (``device1.report_timeouts``,
+        ``backhaul.messages_dropped``) so one
+        :meth:`~repro.monitoring.counters.CounterBank.snapshot` shows the
+        whole world.
+        """
+        return self._context.counters.increment(f"{self._name}.{metric}", by)
 
     def trace(self, category: str, **detail: Any) -> None:
         """Emit a trace record attributed to this actor."""

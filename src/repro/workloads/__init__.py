@@ -5,8 +5,9 @@
   appliances, composites),
 * :mod:`repro.workloads.mobility` — timed enter/leave traces and the
   driver that schedules them on a simulator,
-* :mod:`repro.workloads.scenarios` — builders, including the paper's
-  exact testbed (2 networks x 2 devices) and a scalable variant.
+* :mod:`repro.workloads.scenarios` — :class:`ScenarioSpec` factories
+  for the canonical shapes (the paper's exact 2x2 testbed, scaled N x M
+  worlds, chaos variants) plus the imperative ``build_*`` wrappers.
 """
 
 from repro.workloads.mobility import MobilityDriver, MobilityEvent, MobilityTrace
@@ -18,7 +19,19 @@ from repro.workloads.profiles import (
     EscooterChargeProfile,
     SinusoidProfile,
 )
-from repro.workloads.scenarios import Scenario, build_paper_testbed, build_scaled_scenario
+from repro.workloads.scenarios import (
+    Scenario,
+    blackout_spec,
+    build_blackout_scenario,
+    build_crash_scenario,
+    build_paper_testbed,
+    build_partition_scenario,
+    build_scaled_scenario,
+    crash_spec,
+    paper_testbed_spec,
+    partition_spec,
+    scaled_spec,
+)
 from repro.workloads.traces import MarkovApplianceModel, TraceProfile
 
 __all__ = [
@@ -32,8 +45,16 @@ __all__ = [
     "EscooterChargeProfile",
     "SinusoidProfile",
     "Scenario",
+    "paper_testbed_spec",
+    "scaled_spec",
+    "blackout_spec",
+    "crash_spec",
+    "partition_spec",
     "build_paper_testbed",
     "build_scaled_scenario",
+    "build_blackout_scenario",
+    "build_crash_scenario",
+    "build_partition_scenario",
     "MarkovApplianceModel",
     "TraceProfile",
 ]

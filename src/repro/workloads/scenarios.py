@@ -1,248 +1,131 @@
-"""Scenario builders.
+"""Canonical scenario shapes as :class:`ScenarioSpec` factories.
 
-:func:`build_paper_testbed` reconstructs the paper's experimental setup
+:func:`paper_testbed_spec` describes the paper's experimental setup
 (§III-A): two networks, each with one aggregator and two devices,
 reporting every 100 ms, aggregators joined by a ~1 ms backhaul.
-:func:`build_scaled_scenario` generalises to N networks x M devices for
-the scalability experiments.
+:func:`scaled_spec` generalises to N networks x M devices for the
+scalability experiments, and :func:`blackout_spec` /
+:func:`crash_spec` / :func:`partition_spec` put the testbed under
+deterministic fault schedules.
 
-The chaos builders put the same worlds under deterministic fault
-schedules (:mod:`repro.faults`): :func:`build_blackout_scenario` (a
-link blackout the §II-B buffering must cover),
-:func:`build_crash_scenario` (aggregator crash+restart) and
-:func:`build_partition_scenario` (a backhaul partition under roaming).
+Every factory returns plain data; :func:`repro.runtime.build.build`
+compiles it into a wired world.  The ``build_*`` wrappers keep the
+historical imperative entry points (same signatures, same returns, same
+bit-identical worlds at a given seed) as one-liners over spec + build.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
-from repro.chain.ledger import Blockchain
-from repro.device.stack import DeviceConfig, LoadProfile, MeteringDevice
+from repro.aggregator.unit import AggregatorConfig
+from repro.device.stack import DeviceConfig
 from repro.errors import ConfigError
 from repro.faults import FaultPlan, RetryPolicy
-from repro.grid.topology import GridNetwork, GridTopology
 from repro.hw.powerline import WireSegment
-from repro.ids import AggregatorId, DeviceId
-from repro.net.backhaul import BackhaulLink, BackhaulMesh
-from repro.net.channel import ChannelParams, WirelessChannel
-from repro.sim.kernel import Simulator
-from repro.workloads.mobility import MobilityDriver, MobilityTrace
-from repro.workloads.profiles import DutyCycleProfile, SinusoidProfile
+from repro.runtime.build import build
+from repro.runtime.scenario import Scenario
+from repro.runtime.spec import (
+    DeviceSpec,
+    FaultSpec,
+    MeshSpec,
+    NetworkSpec,
+    ProfileSpec,
+    ScenarioSpec,
+)
+from repro.workloads.mobility import MobilityTrace
+
+__all__ = [
+    "Scenario",
+    "paper_testbed_spec",
+    "scaled_spec",
+    "blackout_spec",
+    "crash_spec",
+    "partition_spec",
+    "build_paper_testbed",
+    "build_scaled_scenario",
+    "build_blackout_scenario",
+    "build_crash_scenario",
+    "build_partition_scenario",
+]
+
+# Smooth wide-range profiles: the network load sweeps from tens of mA
+# to hundreds across intervals, which is what spreads the Fig. 5 gap
+# over ~1-8 %.
+_PAPER_PROFILES: dict[str, ProfileSpec] = {
+    "device1": ProfileSpec(
+        "sinusoid", {"mean_ma": 120.0, "amplitude_ma": 100.0, "period_s": 13.0}
+    ),
+    "device2": ProfileSpec(
+        "sinusoid",
+        {"mean_ma": 60.0, "amplitude_ma": 45.0, "period_s": 17.0, "phase_s": 5.0},
+    ),
+    "device3": ProfileSpec(
+        "sinusoid",
+        {"mean_ma": 90.0, "amplitude_ma": 70.0, "period_s": 11.0, "phase_s": 2.0},
+    ),
+    "device4": ProfileSpec(
+        "sinusoid",
+        {"mean_ma": 70.0, "amplitude_ma": 55.0, "period_s": 19.0, "phase_s": 7.0},
+    ),
+}
+_PAPER_HOMES = {
+    "device1": "agg1",
+    "device2": "agg1",
+    "device3": "agg2",
+    "device4": "agg2",
+}
 
 
-@dataclass
-class Scenario:
-    """A fully wired simulation world.
-
-    Attributes map one-to-one onto the architecture of Fig. 1; the
-    experiment harnesses only ever talk to a Scenario.
-    """
-
-    simulator: Simulator
-    grid: GridTopology
-    chain: Blockchain
-    mesh: BackhaulMesh
-    channel: WirelessChannel
-    aggregators: dict[str, AggregatorUnit] = field(default_factory=dict)
-    devices: dict[str, MeteringDevice] = field(default_factory=dict)
-
-    def aggregator(self, name: str) -> AggregatorUnit:
-        """Aggregator by name, with a helpful error."""
-        unit = self.aggregators.get(name)
-        if unit is None:
-            raise ConfigError(f"no aggregator named {name!r} (have {list(self.aggregators)})")
-        return unit
-
-    def device(self, name: str) -> MeteringDevice:
-        """Device by name, with a helpful error."""
-        dev = self.devices.get(name)
-        if dev is None:
-            raise ConfigError(f"no device named {name!r} (have {list(self.devices)})")
-        return dev
-
-    def schedule_mobility(self, device_name: str, trace: MobilityTrace) -> None:
-        """Arm a mobility itinerary for one device."""
-        driver = MobilityDriver(self.simulator, self.device(device_name), self.aggregators)
-        driver.schedule(trace)
-
-    def enter_at(self, device_name: str, network: str, at_time: float, distance_m: float = 5.0) -> None:
-        """Schedule a single network entry."""
-        device = self.device(device_name)
-        unit = self.aggregator(network)
-        self.simulator.schedule(
-            at_time,
-            lambda: device.enter_network(unit, distance_m),
-            label=f"{device_name}:enter:{network}",
-        )
-
-    def run_until(self, end_time: float) -> None:
-        """Advance the world to ``end_time``."""
-        self.simulator.run_until(end_time)
-
-    def summary(self) -> dict:
-        """Quick run snapshot: ledger, per-device and per-network counters."""
-        return {
-            "time": self.simulator.now,
-            "chain_height": self.chain.height,
-            "total_energy_mwh": self.chain.total_energy_mwh(),
-            "devices": {
-                name: {
-                    "phase": device.fsm.phase.value,
-                    "reports_sent": device.reports_sent,
-                    "acked": device.acked_count,
-                    "buffered_pending": device.store.pending,
-                    "energy_mwh": device.meter.total_energy_mwh,
-                }
-                for name, device in self.devices.items()
-            },
-            "aggregators": {
-                name: {
-                    "members": unit.registry.member_count,
-                    "acks": unit.acks_sent,
-                    "nacks": unit.nacks_sent,
-                    "blocks": unit.writer.blocks_written,
-                    "network_anomalies": unit.verifier.stats.network_anomalies,
-                }
-                for name, unit in self.aggregators.items()
-            },
-        }
-
-    def export_monitoring(self, directory) -> list:
-        """Write every aggregator's recorded series as CSV files.
-
-        Returns the written paths; files are named
-        ``<aggregator>__<series>.csv``.
-        """
-        from pathlib import Path
-
-        from repro.monitoring.export import series_to_csv
-
-        target = Path(directory)
-        target.mkdir(parents=True, exist_ok=True)
-        written = []
-        for name, unit in self.aggregators.items():
-            for series_name in unit.monitoring.names:
-                safe = series_name.replace("/", "_").replace(":", "_")
-                path = target / f"{name}__{safe}.csv"
-                path.write_text(series_to_csv(unit.monitoring[series_name]))
-                written.append(path)
-        return written
-
-
-def _add_network(
-    scenario: Scenario,
-    name: str,
-    aggregator_config: AggregatorConfig,
-    supply_voltage_v: float,
-    segment: WireSegment,
-) -> AggregatorUnit:
-    aggregator_id = AggregatorId(name)
-    network = GridNetwork(
-        aggregator_id,
-        supply_voltage_v=supply_voltage_v,
-        default_segment=segment,
-    )
-    scenario.grid.add_network(network)
-    unit = AggregatorUnit(
-        scenario.simulator,
-        aggregator_id,
-        scenario.chain,
-        scenario.mesh,
-        network,
-        aggregator_config,
-    )
-    scenario.aggregators[name] = unit
-    unit.start()
-    return unit
-
-
-def _add_device(
-    scenario: Scenario,
-    name: str,
-    profile: LoadProfile,
-    device_config: DeviceConfig,
-) -> MeteringDevice:
-    device = MeteringDevice(
-        scenario.simulator,
-        DeviceId(name),
-        device_config,
-        scenario.grid,
-        scenario.channel,
-        profile,
-    )
-    scenario.devices[name] = device
-    return device
-
-
-def build_paper_testbed(
+def paper_testbed_spec(
     seed: int = 0,
     t_measure_s: float = 0.1,
     enter_devices: bool = True,
-    device_config: DeviceConfig | None = None,
-    aggregator_config: AggregatorConfig | None = None,
-    segment: WireSegment | None = None,
-) -> Scenario:
+    device_retry: bool = True,
+    faults: tuple[FaultSpec, ...] = (),
+    name: str = "paper-testbed",
+) -> ScenarioSpec:
     """The paper's testbed: 2 networks ("agg1", "agg2") x 2 devices each.
 
     Devices ``device1``/``device2`` start in network agg1 and
-    ``device3``/``device4`` in agg2, with duty-cycled load profiles that
-    span a wide dynamic range (that range is what spreads the Fig. 5
-    per-interval gap over ~1-8 %).
+    ``device3``/``device4`` in agg2, with sinusoid load profiles that
+    span a wide dynamic range.
 
     Args:
         seed: Master seed for every random stream.
         t_measure_s: Reporting interval (paper: 0.1 s).
         enter_devices: Schedule all four devices to enter their home
             networks at t=0 (disable for custom itineraries).
-        device_config / aggregator_config / segment: Overrides.
+        device_retry: Whether devices run the Ack-timeout retry path.
+        faults: Optional deterministic fault schedule.
+        name: Scenario name recorded in provenance.
     """
-    simulator = Simulator(seed=seed)
-    scenario = Scenario(
-        simulator=simulator,
-        grid=GridTopology(),
-        chain=Blockchain(authorized=set()),
-        mesh=BackhaulMesh(simulator),
-        channel=WirelessChannel(ChannelParams(), simulator.rng.stream("channel")),
-    )
-    agg_config = aggregator_config or AggregatorConfig(t_measure_s=t_measure_s)
-    dev_config = device_config or DeviceConfig(t_measure_s=t_measure_s)
     # Wiring losses sized so the per-interval feeder overhead spans the
     # paper's observed 0.9-8.2 % across low/high load phases: constant
     # leakage dominates at light load (large relative gap), I2R adds
     # little even at heavy load (small relative gap).
-    wire = segment or WireSegment(resistance_ohms=0.1, leakage_ma=2.5)
-
-    _add_network(scenario, "agg1", agg_config, 5.0, wire)
-    _add_network(scenario, "agg2", agg_config, 5.0, wire)
-    scenario.mesh.connect(
-        BackhaulLink(AggregatorId("agg1"), AggregatorId("agg2"), latency_s=0.001)
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_retry=device_retry,
+        networks=(
+            NetworkSpec("agg1", wire_resistance_ohms=0.1, wire_leakage_ma=2.5),
+            NetworkSpec("agg2", wire_resistance_ohms=0.1, wire_leakage_ma=2.5),
+        ),
+        devices=tuple(
+            DeviceSpec(
+                name=device,
+                network=_PAPER_HOMES[device],
+                profile=profile,
+                enter_at=0.0 if enter_devices else None,
+            )
+            for device, profile in _PAPER_PROFILES.items()
+        ),
+        mesh=MeshSpec(topology="full", latency_s=0.001),
+        faults=faults,
     )
 
-    # Smooth wide-range profiles: the network load sweeps from tens of mA
-    # to hundreds across intervals, which is what spreads the Fig. 5 gap.
-    profiles: dict[str, LoadProfile] = {
-        "device1": SinusoidProfile(mean_ma=120.0, amplitude_ma=100.0, period_s=13.0),
-        "device2": SinusoidProfile(
-            mean_ma=60.0, amplitude_ma=45.0, period_s=17.0, phase_s=5.0
-        ),
-        "device3": SinusoidProfile(
-            mean_ma=90.0, amplitude_ma=70.0, period_s=11.0, phase_s=2.0
-        ),
-        "device4": SinusoidProfile(
-            mean_ma=70.0, amplitude_ma=55.0, period_s=19.0, phase_s=7.0
-        ),
-    }
-    homes = {"device1": "agg1", "device2": "agg1", "device3": "agg2", "device4": "agg2"}
-    for name, profile in profiles.items():
-        _add_device(scenario, name, profile, dev_config)
-        if enter_devices:
-            scenario.enter_at(name, homes[name], 0.0)
-    return scenario
 
-
-def build_scaled_scenario(
+def scaled_spec(
     n_networks: int,
     devices_per_network: int,
     seed: int = 0,
@@ -250,7 +133,7 @@ def build_scaled_scenario(
     slot_count: int | None = None,
     enter_devices: bool = True,
     mesh_topology: str = "full",
-) -> Scenario:
+) -> ScenarioSpec:
     """N networks with M duty-cycled devices each.
 
     Device ``dev-<i>-<j>`` lives in network ``net-<i>``.  The backhaul
@@ -272,49 +155,88 @@ def build_scaled_scenario(
         raise ConfigError(
             f"mesh topology must be full/line/star, got {mesh_topology!r}"
         )
-    simulator = Simulator(seed=seed)
-    scenario = Scenario(
-        simulator=simulator,
-        grid=GridTopology(),
-        chain=Blockchain(authorized=set()),
-        mesh=BackhaulMesh(simulator),
-        channel=WirelessChannel(ChannelParams(), simulator.rng.stream("channel")),
-    )
     slots = slot_count if slot_count is not None else max(16, devices_per_network + 4)
-    agg_config = AggregatorConfig(t_measure_s=t_measure_s, slot_count=slots)
-    dev_config = DeviceConfig(t_measure_s=t_measure_s)
-    wire = WireSegment(resistance_ohms=0.15, leakage_ma=1.0)
-
-    names = [f"net-{i}" for i in range(n_networks)]
-    for name in names:
-        _add_network(scenario, name, agg_config, 5.0, wire)
-    if mesh_topology == "full":
-        links = [
-            (a, b) for i, a in enumerate(names) for b in names[i + 1 :]
-        ]
-    elif mesh_topology == "line":
-        links = list(zip(names, names[1:]))
-    else:  # star
-        links = [(names[0], other) for other in names[1:]]
-    for a, b in links:
-        scenario.mesh.connect(
-            BackhaulLink(AggregatorId(a), AggregatorId(b), latency_s=0.001)
-        )
-
-    for i, network in enumerate(names):
-        for j in range(devices_per_network):
-            device_name = f"dev-{i}-{j}"
-            profile = DutyCycleProfile(
-                high_ma=40.0 + 10.0 * (j % 5),
-                low_ma=5.0 + (j % 3),
-                period_s=4.0 + (j % 7),
-                duty=0.3 + 0.1 * (j % 4),
-                phase_s=0.7 * j,
+    return ScenarioSpec(
+        name=f"scaled-{n_networks}x{devices_per_network}",
+        seed=seed,
+        t_measure_s=t_measure_s,
+        networks=tuple(
+            NetworkSpec(
+                f"net-{i}",
+                wire_resistance_ohms=0.15,
+                wire_leakage_ma=1.0,
+                slot_count=slots,
             )
-            _add_device(scenario, device_name, profile, dev_config)
-            if enter_devices:
-                scenario.enter_at(device_name, network, 0.0)
-    return scenario
+            for i in range(n_networks)
+        ),
+        devices=tuple(
+            DeviceSpec(
+                name=f"dev-{i}-{j}",
+                network=f"net-{i}",
+                profile=ProfileSpec(
+                    "duty_cycle",
+                    {
+                        "high_ma": 40.0 + 10.0 * (j % 5),
+                        "low_ma": 5.0 + (j % 3),
+                        "period_s": 4.0 + (j % 7),
+                        "duty": 0.3 + 0.1 * (j % 4),
+                        "phase_s": 0.7 * j,
+                    },
+                ),
+                enter_at=0.0 if enter_devices else None,
+            )
+            for i in range(n_networks)
+            for j in range(devices_per_network)
+        ),
+        mesh=MeshSpec(topology=mesh_topology, latency_s=0.001),
+    )
+
+
+def build_paper_testbed(
+    seed: int = 0,
+    t_measure_s: float = 0.1,
+    enter_devices: bool = True,
+    device_config: DeviceConfig | None = None,
+    aggregator_config: AggregatorConfig | None = None,
+    segment: WireSegment | None = None,
+) -> Scenario:
+    """Compile the paper testbed (see :func:`paper_testbed_spec`).
+
+    ``device_config`` / ``aggregator_config`` / ``segment`` override
+    every device/aggregator/wire with a non-serializable config object;
+    the recorded spec still describes the world shape.
+    """
+    return build(
+        paper_testbed_spec(
+            seed=seed, t_measure_s=t_measure_s, enter_devices=enter_devices
+        ),
+        device_config=device_config,
+        aggregator_config=aggregator_config,
+        segment=segment,
+    )
+
+
+def build_scaled_scenario(
+    n_networks: int,
+    devices_per_network: int,
+    seed: int = 0,
+    t_measure_s: float = 0.1,
+    slot_count: int | None = None,
+    enter_devices: bool = True,
+    mesh_topology: str = "full",
+) -> Scenario:
+    """Compile the scaled N x M world (see :func:`scaled_spec`)."""
+    return build(
+        scaled_spec(
+            n_networks,
+            devices_per_network,
+            seed=seed,
+            t_measure_s=t_measure_s,
+            slot_count=slot_count,
+            enter_devices=enter_devices,
+            mesh_topology=mesh_topology,
+        )
+    )
 
 
 # -- chaos scenarios -----------------------------------------------------
@@ -327,13 +249,13 @@ def _chaos_device_config(t_measure_s: float, retry: bool) -> DeviceConfig:
     )
 
 
-def build_blackout_scenario(
+def blackout_spec(
     seed: int = 0,
     blackout_at: float = 10.0,
     blackout_s: float = 30.0,
     t_measure_s: float = 0.1,
     retry: bool = True,
-) -> tuple[Scenario, FaultPlan]:
+) -> ScenarioSpec:
     """Paper testbed under a radio blackout window.
 
     Every uplink frame during ``[blackout_at, blackout_at +
@@ -342,16 +264,127 @@ def build_blackout_scenario(
     (``buffered=True``) once the link returns — the Fig. 6 shape,
     caused by a fault instead of mobility.
     """
-    scenario = build_paper_testbed(
+    return paper_testbed_spec(
         seed=seed,
         t_measure_s=t_measure_s,
-        device_config=_chaos_device_config(t_measure_s, retry),
+        device_retry=retry,
+        name="paper-testbed-blackout",
+        faults=(
+            FaultSpec(
+                kind="channel_blackout",
+                name="radio-blackout",
+                start_at=blackout_at,
+                duration_s=blackout_s,
+                target="radio",
+            ),
+        ),
     )
-    plan = FaultPlan(scenario.simulator)
-    injector = plan.make_injector("radio")
-    scenario.channel.set_fault_injector(injector)
-    plan.link_blackout("radio-blackout", injector, blackout_at, blackout_s)
-    return scenario, plan
+
+
+def crash_spec(
+    seed: int = 0,
+    crash_at: float = 10.0,
+    outage_s: float = 15.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+    aggregator: str = "agg1",
+) -> ScenarioSpec:
+    """Paper testbed with one aggregator crashing and restarting.
+
+    During the outage the broker drops everything, so in-flight reports
+    go unacknowledged; the devices' retry path re-buffers them and the
+    post-restart ``Nack(NOT_A_MEMBER)`` → re-registration sequence
+    (vouched by the surviving ledger) backfills the window.
+    """
+    return paper_testbed_spec(
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_retry=retry,
+        name="paper-testbed-crash",
+        faults=(
+            FaultSpec(
+                kind="aggregator_crash",
+                name=f"{aggregator}-crash",
+                start_at=crash_at,
+                duration_s=outage_s,
+                target=aggregator,
+            ),
+        ),
+    )
+
+
+def partition_spec(
+    seed: int = 0,
+    partition_at: float = 18.0,
+    partition_s: float = 20.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+) -> ScenarioSpec:
+    """Roaming into a partitioned backhaul.
+
+    ``device1`` does not auto-enter (its mobility itinerary is
+    imperative — see :func:`build_partition_scenario`); the mesh splits
+    into {agg1} | {agg2} during the window, so the host cannot verify
+    the claimed master until the heal.
+    """
+    base = paper_testbed_spec(
+        seed=seed,
+        t_measure_s=t_measure_s,
+        device_retry=retry,
+        enter_devices=False,
+        name="paper-testbed-partition",
+        faults=(
+            FaultSpec(
+                kind="backhaul_partition",
+                name="mesh-split",
+                start_at=partition_at,
+                duration_s=partition_s,
+                groups=(("agg1",), ("agg2",)),
+            ),
+        ),
+    )
+    # device2/3/4 enter their homes at t=0; device1 rides mobility.
+    devices = tuple(
+        device if device.name == "device1"
+        else DeviceSpec(
+            name=device.name,
+            network=device.network,
+            profile=device.profile,
+            enter_at=0.0,
+            distance_m=device.distance_m,
+        )
+        for device in base.devices
+    )
+    return ScenarioSpec(
+        name=base.name,
+        seed=base.seed,
+        t_measure_s=base.t_measure_s,
+        device_retry=base.device_retry,
+        networks=base.networks,
+        devices=devices,
+        mesh=base.mesh,
+        faults=base.faults,
+    )
+
+
+def build_blackout_scenario(
+    seed: int = 0,
+    blackout_at: float = 10.0,
+    blackout_s: float = 30.0,
+    t_measure_s: float = 0.1,
+    retry: bool = True,
+) -> tuple[Scenario, FaultPlan]:
+    """Compile :func:`blackout_spec`; returns ``(scenario, plan)``."""
+    scenario = build(
+        blackout_spec(
+            seed=seed,
+            blackout_at=blackout_at,
+            blackout_s=blackout_s,
+            t_measure_s=t_measure_s,
+            retry=retry,
+        )
+    )
+    return scenario, scenario.fault_plan
 
 
 def build_crash_scenario(
@@ -362,23 +395,18 @@ def build_crash_scenario(
     retry: bool = True,
     aggregator: str = "agg1",
 ) -> tuple[Scenario, FaultPlan]:
-    """Paper testbed with one aggregator crashing and restarting.
-
-    During the outage the broker drops everything, so in-flight reports
-    go unacknowledged; the devices' retry path re-buffers them and the
-    post-restart ``Nack(NOT_A_MEMBER)`` → re-registration sequence
-    (vouched by the surviving ledger) backfills the window.
-    """
-    scenario = build_paper_testbed(
-        seed=seed,
-        t_measure_s=t_measure_s,
-        device_config=_chaos_device_config(t_measure_s, retry),
+    """Compile :func:`crash_spec`; returns ``(scenario, plan)``."""
+    scenario = build(
+        crash_spec(
+            seed=seed,
+            crash_at=crash_at,
+            outage_s=outage_s,
+            t_measure_s=t_measure_s,
+            retry=retry,
+            aggregator=aggregator,
+        )
     )
-    plan = FaultPlan(scenario.simulator)
-    plan.aggregator_crash(
-        f"{aggregator}-crash", scenario.aggregator(aggregator), crash_at, outage_s
-    )
-    return scenario, plan
+    return scenario, scenario.fault_plan
 
 
 def build_partition_scenario(
@@ -388,22 +416,21 @@ def build_partition_scenario(
     t_measure_s: float = 0.1,
     retry: bool = True,
 ) -> tuple[Scenario, FaultPlan]:
-    """Roaming into a partitioned backhaul.
+    """Compile :func:`partition_spec` and arm device1's move.
 
-    ``device1`` moves from agg1 to agg2 while the mesh is split, so the
-    host cannot verify the claimed master: the verify retry path times
-    out, the device keeps buffering under registration retries, and
-    membership (plus the backfill) completes only after the heal.
+    The itinerary (agg1 → agg2, leaving two seconds into the partition)
+    stays imperative: mobility traces are callables over scenario state,
+    not spec data.
     """
-    scenario = build_paper_testbed(
-        seed=seed,
-        t_measure_s=t_measure_s,
-        device_config=_chaos_device_config(t_measure_s, retry),
-        enter_devices=False,
+    scenario = build(
+        partition_spec(
+            seed=seed,
+            partition_at=partition_at,
+            partition_s=partition_s,
+            t_measure_s=t_measure_s,
+            retry=retry,
+        )
     )
-    scenario.enter_at("device2", "agg1", 0.0)
-    scenario.enter_at("device3", "agg2", 0.0)
-    scenario.enter_at("device4", "agg2", 0.0)
     scenario.schedule_mobility(
         "device1",
         MobilityTrace.single_move(
@@ -414,12 +441,4 @@ def build_partition_scenario(
             idle_s=5.0,
         ),
     )
-    plan = FaultPlan(scenario.simulator)
-    plan.backhaul_partition(
-        "mesh-split",
-        scenario.mesh,
-        [{AggregatorId("agg1")}, {AggregatorId("agg2")}],
-        partition_at,
-        partition_s,
-    )
-    return scenario, plan
+    return scenario, scenario.fault_plan

@@ -6,11 +6,11 @@ from repro.errors import ProtocolError
 from repro.experiments.faults import settle_and_measure
 from repro.faults import LinkFaultSpec
 from repro.workloads.scenarios import (
+    _chaos_device_config,
     build_blackout_scenario,
     build_crash_scenario,
     build_paper_testbed,
     build_partition_scenario,
-    _chaos_device_config,
 )
 
 

@@ -3,8 +3,8 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ids import AggregatorId, DeviceId, NetworkAddress
 from repro.device.storage import LocalStore
+from repro.ids import AggregatorId, DeviceId, NetworkAddress
 from repro.net.tdma import TdmaSchedule
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.device_fsm import DeviceFsm, DevicePhase

@@ -21,13 +21,13 @@ from repro.protocol import (
     decode_message,
     encode_message,
 )
+from repro.protocol.codec import encoded_size
 from repro.protocol.messages import (
     MgmtCommand,
     MgmtResponse,
     ReceiptRequest,
     ReceiptResponse,
 )
-from repro.protocol.codec import encoded_size
 
 DEVICE = DeviceId("device1")
 MASTER = NetworkAddress(AggregatorId("agg1"), 1)

@@ -1,0 +1,297 @@
+"""ScenarioSpec / SimContext runtime tests.
+
+Covers the declarative-spec contract end to end:
+
+* lossless round-trip — ``from_dict(to_dict())`` and the JSON path
+  reproduce the spec exactly, over hypothesis-generated specs,
+* determinism — the spec-built paper testbed reproduces the ledger
+  digest the imperative builder produced before the refactor,
+* provenance — ``snapshot()`` carries the master seed and the
+  originating spec,
+* unified counters — every layer (devices, aggregators, mesh,
+  channel, chain, faults) emits into one shared :class:`CounterBank`,
+* the ``repro-experiments --scenario`` CLI path.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.runtime import (
+    DeviceSpec,
+    FaultSpec,
+    MeshSpec,
+    NetworkSpec,
+    ProfileSpec,
+    ScenarioSpec,
+    SimContext,
+    build,
+)
+from repro.workloads.scenarios import paper_testbed_spec, scaled_spec
+
+# Ledger tip hash of build_paper_testbed(seed=7) run to t=30.0, captured
+# on the pre-refactor imperative builder. The spec path must reproduce
+# it bit for bit.
+PAPER_TESTBED_SEED7_DIGEST = (
+    "bcca848983a69021572fb962b4887cd30c9e19978987dc1c0766c87eec59b70e"
+)
+
+_name = st.text(alphabet="abcdefgh123", min_size=1, max_size=8)
+_finite = st.floats(
+    min_value=0.001, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+_profiles = st.one_of(
+    st.builds(
+        ProfileSpec,
+        kind=st.just("constant"),
+        params=st.fixed_dictionaries({"current_ma": _finite}),
+    ),
+    st.builds(
+        ProfileSpec,
+        kind=st.just("duty_cycle"),
+        params=st.fixed_dictionaries(
+            {
+                "high_ma": _finite,
+                "low_ma": _finite,
+                "period_s": _finite,
+                "duty": st.floats(min_value=0.05, max_value=0.95),
+            }
+        ),
+    ),
+    st.builds(
+        ProfileSpec,
+        kind=st.just("sinusoid"),
+        params=st.fixed_dictionaries(
+            {
+                "mean_ma": st.floats(min_value=100.0, max_value=500.0),
+                "amplitude_ma": st.floats(min_value=0.0, max_value=100.0),
+                "period_s": _finite,
+                "phase_s": _finite,
+            }
+        ),
+    ),
+)
+
+
+@st.composite
+def scenario_specs(draw):
+    """A valid ScenarioSpec with coherent cross-references."""
+    network_names = draw(
+        st.lists(_name, min_size=1, max_size=4, unique=True)
+    )
+    networks = tuple(
+        NetworkSpec(
+            name=name,
+            supply_voltage_v=draw(st.floats(min_value=1.0, max_value=48.0)),
+            wire_resistance_ohms=draw(st.floats(min_value=0.0, max_value=2.0)),
+            wire_leakage_ma=draw(st.floats(min_value=0.0, max_value=10.0)),
+            slot_count=draw(st.one_of(st.none(), st.integers(4, 64))),
+        )
+        for name in network_names
+    )
+    device_names = draw(
+        st.lists(
+            _name.map(lambda s: "dev-" + s), min_size=0, max_size=5, unique=True
+        )
+    )
+    devices = tuple(
+        DeviceSpec(
+            name=name,
+            network=draw(st.sampled_from(network_names)),
+            profile=draw(_profiles),
+            enter_at=draw(
+                st.one_of(st.none(), st.floats(min_value=0.0, max_value=30.0))
+            ),
+            distance_m=draw(st.floats(min_value=0.5, max_value=50.0)),
+        )
+        for name in device_names
+    )
+    mesh = MeshSpec(
+        topology=draw(st.sampled_from(("full", "line", "star"))),
+        latency_s=draw(st.floats(min_value=1e-4, max_value=0.5)),
+    )
+    faults = []
+    if draw(st.booleans()):
+        faults.append(
+            FaultSpec(
+                kind="channel_blackout",
+                name="blackout",
+                start_at=draw(st.floats(min_value=0.0, max_value=20.0)),
+                duration_s=draw(st.floats(min_value=0.5, max_value=20.0)),
+                target="radio",
+            )
+        )
+    if draw(st.booleans()):
+        faults.append(
+            FaultSpec(
+                kind="broker_noise",
+                name="noise",
+                start_at=draw(st.floats(min_value=0.0, max_value=20.0)),
+                target=draw(st.sampled_from(network_names)),
+                params={"drop_p": draw(st.floats(min_value=0.0, max_value=0.9))},
+            )
+        )
+    return ScenarioSpec(
+        name=draw(_name),
+        seed=draw(st.integers(min_value=0, max_value=2**32)),
+        t_measure_s=draw(st.floats(min_value=0.01, max_value=5.0)),
+        device_retry=draw(st.booleans()),
+        networks=networks,
+        devices=devices,
+        mesh=mesh,
+        faults=tuple(faults),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_dict_round_trip_is_identity(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @settings(max_examples=60, deadline=None)
+    @given(scenario_specs())
+    def test_json_round_trip_is_identity(self, spec):
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @settings(max_examples=30, deadline=None)
+    @given(scenario_specs())
+    def test_to_dict_is_json_serializable(self, spec):
+        # json round-trip of the dict must not change it either
+        data = spec.to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_unknown_keys_rejected(self):
+        data = paper_testbed_spec().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ConfigError):
+            ScenarioSpec.from_dict(data)
+
+    def test_device_unknown_network_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec(
+                networks=(NetworkSpec(name="agg1"),),
+                devices=(
+                    DeviceSpec(
+                        name="d1",
+                        network="nope",
+                        profile=ProfileSpec("constant", {"current_ma": 10.0}),
+                    ),
+                ),
+            )
+
+
+class TestDeterminism:
+    def test_paper_testbed_matches_pre_refactor_digest(self):
+        scenario = build(paper_testbed_spec(seed=7))
+        scenario.run_until(30.0)
+        assert scenario.chain.tip_hash == PAPER_TESTBED_SEED7_DIGEST
+
+    def test_same_spec_builds_identical_worlds(self):
+        spec = scaled_spec(n_networks=2, devices_per_network=3, seed=11)
+        digests = []
+        for _ in range(2):
+            scenario = build(spec)
+            scenario.run_until(12.0)
+            digests.append(scenario.chain.tip_hash)
+        assert digests[0] == digests[1]
+
+    def test_json_round_tripped_spec_builds_identical_world(self):
+        spec = paper_testbed_spec(seed=7)
+        revived = ScenarioSpec.from_json(spec.to_json())
+        scenario = build(revived)
+        scenario.run_until(30.0)
+        assert scenario.chain.tip_hash == PAPER_TESTBED_SEED7_DIGEST
+
+
+class TestProvenance:
+    def test_snapshot_carries_seed_spec_and_digest(self):
+        spec = paper_testbed_spec(seed=42)
+        scenario = build(spec)
+        scenario.run_until(5.0)
+        snap = scenario.snapshot()
+        assert snap["master_seed"] == 42
+        assert snap["spec"] == spec.to_dict()
+        assert snap["ledger_digest"] == scenario.chain.tip_hash
+        assert json.loads(json.dumps(snap, default=str))  # JSON-safe
+
+    def test_scenario_records_originating_spec(self):
+        spec = paper_testbed_spec(seed=3)
+        scenario = build(spec)
+        assert scenario.spec == spec
+        assert scenario.master_seed == 3
+
+
+class TestUnifiedCounters:
+    def test_all_layers_share_one_counter_bank(self):
+        scenario = build(paper_testbed_spec(seed=1))
+        scenario.run_until(10.0)
+        bank = scenario.counters
+        assert bank is scenario.context.counters
+        # one bank is visible from every layer's process
+        for device in scenario.devices.values():
+            assert device.counters is bank
+        for unit in scenario.aggregators.values():
+            assert unit.counters is bank
+        assert scenario.mesh.counters is bank
+        snapshot = bank.snapshot()
+        assert any(key.startswith("chain.") for key in snapshot)
+        assert any(key.startswith("device") for key in snapshot)
+        assert any(".blocks_written" in key for key in snapshot)
+        assert any(".acks_sent" in key for key in snapshot)
+
+    def test_fault_plan_shares_the_bank(self):
+        spec = paper_testbed_spec(
+            seed=5,
+            faults=(
+                FaultSpec(
+                    kind="channel_blackout",
+                    name="radio-blackout",
+                    start_at=2.0,
+                    duration_s=3.0,
+                    target="radio",
+                ),
+            ),
+        )
+        scenario = build(spec)
+        scenario.run_until(10.0)
+        assert scenario.fault_plan is not None
+        assert scenario.fault_plan.counters is scenario.counters
+        assert scenario.counters.get("fault.radio-blackout.activations") == 1
+
+    def test_context_create_wires_clock_and_streams(self):
+        ctx = SimContext.create(seed=9)
+        assert ctx.master_seed == 9
+        first = ctx.stream("x").random()
+        assert first == SimContext.create(seed=9).stream("x").random()
+
+
+class TestCliScenario:
+    def test_scenario_flag_runs_spec_file(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(paper_testbed_spec(seed=7).to_json())
+        code = main(["--scenario", str(spec_file), "--until", "5"])
+        assert code == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["master_seed"] == 7
+        assert snap["spec"]["name"] == "paper-testbed"
+        assert snap["time"] == 5.0
+
+    def test_scenario_flag_writes_snapshot_with_out(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            scaled_spec(n_networks=1, devices_per_network=2, seed=4).to_json()
+        )
+        out_dir = tmp_path / "out"
+        code = main(
+            ["--scenario", str(spec_file), "--until", "3", "--out", str(out_dir)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        written = json.loads((out_dir / "scenario_snapshot.json").read_text())
+        assert written["master_seed"] == 4
