@@ -18,13 +18,13 @@ from typing import Callable
 from repro.errors import ProtocolError
 from repro.faults.retry import RetryPolicy, RetryTimer
 from repro.ids import AggregatorId, DeviceId
-from repro.net.backhaul import BackhaulMesh
 from repro.protocol.messages import (
     ConsumptionReport,
     ForwardedConsumption,
     MembershipVerifyRequest,
     MembershipVerifyResponse,
 )
+from repro.transport.base import Mesh
 
 # Called when a verify verdict arrives for a pending temporary registration.
 VerifyCallback = Callable[[MembershipVerifyResponse], None]
@@ -56,7 +56,8 @@ class RoamingLiaison:
 
     Args:
         aggregator_id: The owning aggregator.
-        mesh: The backhaul network.
+        mesh: The backhaul network (any
+            :class:`~repro.transport.base.Mesh` implementation).
         retry: Verify-request retry/timeout policy.  ``None`` disables
             expiry (a master that never answers then leaks the pending
             entry — legacy behaviour, kept only for isolated tests).
@@ -65,7 +66,7 @@ class RoamingLiaison:
     def __init__(
         self,
         aggregator_id: AggregatorId,
-        mesh: BackhaulMesh,
+        mesh: Mesh,
         retry: RetryPolicy | None = None,
     ) -> None:
         self._aggregator_id = aggregator_id

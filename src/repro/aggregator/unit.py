@@ -24,8 +24,6 @@ from repro.grid.topology import GridNetwork
 from repro.hw.rpi import RaspberryPi
 from repro.ids import AggregatorId, DeviceId, NetworkAddress
 from repro.monitoring.timeseries import SeriesBank
-from repro.net.backhaul import BackhaulMesh
-from repro.net.mqtt import MqttBroker
 from repro.net.tdma import TdmaSchedule
 from repro.net.timesync import TimeSyncService
 from repro.protocol.codec import decode_message, encode_message
@@ -48,6 +46,7 @@ from repro.protocol.messages import (
 )
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+from repro.transport.base import Endpoint, Mesh, Transport
 
 if TYPE_CHECKING:
     from repro.runtime.context import SimContext
@@ -107,17 +106,22 @@ class AggregatorConfig:
 
 
 class AggregatorUnit(Process):
-    """One aggregator: broker host, verifier, ledger writer, liaison.
+    """One aggregator: endpoint host, verifier, ledger writer, liaison.
 
     Args:
-        runtime: The kernel, or a shared :class:`SimContext` (the broker
-            and time-sync sub-processes inherit it, so all of the unit's
-            actors emit into the same counter bank and trace stream).
+        runtime: The kernel, or a shared :class:`SimContext` (the
+            endpoint and time-sync sub-processes inherit it, so all of
+            the unit's actors emit into the same counter bank and trace
+            stream).
         aggregator_id: This unit's identity (names its WAN).
         chain: The common permissioned blockchain.
         mesh: The inter-aggregator backhaul.
         grid_network: The grid-location this unit meters.
         config: Static configuration.
+        transport: Transport backend hosting this unit's device-facing
+            endpoint; defaults to a standalone
+            :class:`~repro.transport.mqtt.MqttTransport` (an MQTT broker
+            without a radio environment — the historic behaviour).
     """
 
     def __init__(
@@ -125,15 +129,20 @@ class AggregatorUnit(Process):
         runtime: "Simulator | SimContext",
         aggregator_id: AggregatorId,
         chain: Blockchain,
-        mesh: BackhaulMesh,
+        mesh: Mesh,
         grid_network: GridNetwork,
         config: AggregatorConfig | None = None,
+        transport: Transport | None = None,
     ) -> None:
         super().__init__(runtime, aggregator_id.name)
+        if transport is None:
+            from repro.transport.mqtt import MqttTransport
+
+            transport = MqttTransport()
         self._aggregator_id = aggregator_id
         self._config = config or AggregatorConfig()
         self._host = RaspberryPi(self.rng("host"))
-        self._broker = MqttBroker(self.context, f"{aggregator_id.name}-broker")
+        self._broker: Endpoint = transport.make_endpoint(self.context, aggregator_id.name)
         self._tdma = TdmaSchedule(self._config.t_measure_s, self._config.slot_count)
         self._registry = MembershipRegistry(aggregator_id, self._tdma)
         self._meter = FeederMeter(grid_network, self.rng("feeder-sensor"))
@@ -180,8 +189,13 @@ class AggregatorUnit(Process):
         return self._aggregator_id
 
     @property
-    def broker(self) -> MqttBroker:
-        """The hosted MQTT broker (devices connect here)."""
+    def endpoint(self) -> Endpoint:
+        """The hosted transport endpoint (devices connect here)."""
+        return self._broker
+
+    @property
+    def broker(self) -> Endpoint:
+        """Legacy alias for :attr:`endpoint` (pre-transport-layer name)."""
         return self._broker
 
     @property

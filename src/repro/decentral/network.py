@@ -27,8 +27,9 @@ from repro.device.metering import EnergyMeter, Measurement
 from repro.errors import ConsensusError
 from repro.hw.ina219 import Ina219, Ina219Config
 from repro.ids import AggregatorId, DeviceId
-from repro.net.backhaul import BackhaulLink, BackhaulMesh
+from repro.net.backhaul import BackhaulLink
 from repro.sim.kernel import Simulator
+from repro.transport.base import Mesh
 
 LoadProfile = Callable[[float], float]
 
@@ -52,7 +53,8 @@ class DecentralizedDevice(NetworkedValidator):
     Args:
         simulator: The kernel.
         device_id: The device's identity.
-        mesh: The device-to-device mesh.
+        mesh: The device-to-device mesh (any
+            :class:`~repro.transport.base.Mesh` implementation).
         load_profile: Grid-side draw over time (mA).
         t_measure_s: Sampling interval.
         voltage_v: Supply voltage for the energy computation.
@@ -62,7 +64,7 @@ class DecentralizedDevice(NetworkedValidator):
         self,
         simulator: Simulator,
         device_id: DeviceId,
-        mesh: BackhaulMesh,
+        mesh: Mesh,
         load_profile: LoadProfile,
         t_measure_s: float = 0.1,
         voltage_v: float = 3.3,

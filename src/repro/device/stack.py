@@ -6,8 +6,9 @@ and the protocol state machine together, and drives the Fig. 3 sequences
 against whatever network it is currently in.
 
 Interaction surface with the aggregator is deliberately narrow — an
-:class:`AccessPoint` exposes the aggregator's identity and MQTT broker;
-everything else flows through protocol messages on topics:
+:class:`AccessPoint` exposes the aggregator's identity and its transport
+:class:`~repro.transport.base.Endpoint`; everything else flows through
+protocol messages on topics:
 
 * uplink ``meter/{device}/register`` and ``meter/{device}/report``,
 * downlink ``device/{device}/ctrl``.
@@ -29,8 +30,6 @@ from repro.hw.esp32 import Esp32Mcu, McuState
 from repro.hw.ina219 import Ina219, Ina219Config
 from repro.ids import AggregatorId, DeviceId
 from repro.net.channel import WirelessChannel
-from repro.net.mqtt import MqttBroker, MqttClient, QoS
-from repro.net.wifi import WifiParams, WifiRadio
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.device_fsm import DeviceFsm, DevicePhase, FsmDecision
 from repro.protocol.messages import (
@@ -54,13 +53,19 @@ if TYPE_CHECKING:
     from repro.runtime.context import SimContext
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
+from repro.transport.base import DeviceLink, Endpoint, QoS, RadioModel, Transport
 from repro.units import energy_mwh
 
 LoadProfile = Callable[[float], float]
 
 
 class AccessPoint(Protocol):
-    """What a device needs to know about the aggregator it talks to."""
+    """What a device needs to know about the aggregator it talks to.
+
+    Transport-generic: the device sees an abstract
+    :class:`~repro.transport.base.Endpoint`, never a concrete broker —
+    which backend routes the messages is the scenario's choice.
+    """
 
     @property
     def aggregator_id(self) -> AggregatorId:
@@ -68,8 +73,8 @@ class AccessPoint(Protocol):
         ...
 
     @property
-    def broker(self) -> MqttBroker:
-        """The MQTT broker hosted by this aggregator."""
+    def endpoint(self) -> Endpoint:
+        """The transport endpoint hosted by this aggregator."""
         ...
 
     @property
@@ -88,7 +93,6 @@ class DeviceConfig:
             e-scooter charger would be mains-side, still one number).
         storage_capacity: Local store-and-forward capacity (records).
         sensor: INA219 configuration.
-        wifi: Wi-Fi join latency model.
         report_qos: QoS for consumption reports.
         flush_batch: Buffered records flushed per transmission slot.
         registration_retry_s: Backoff before re-requesting membership
@@ -105,7 +109,6 @@ class DeviceConfig:
     voltage_v: float = 3.3
     storage_capacity: int = 4096
     sensor: Ina219Config = field(default_factory=Ina219Config)
-    wifi: WifiParams = field(default_factory=WifiParams)
     report_qos: QoS = QoS.AT_LEAST_ONCE
     flush_batch: int = 64
     registration_retry_s: float = 5.0
@@ -154,7 +157,11 @@ class MeteringDevice(Process):
         device_id: Identity of this device.
         config: Static configuration.
         grid: The electrical topology (for attach/detach).
-        channel: Wireless channel shared by the scenario.
+        transport: The scenario's transport backend (link, radio and
+            endpoint factories).  A bare
+            :class:`~repro.net.channel.WirelessChannel` is accepted for
+            backward compatibility and wrapped in an
+            :class:`~repro.transport.mqtt.MqttTransport`.
         load_profile: Grid-side load current (mA) over time, *excluding*
             the MCU's own draw (added automatically).
     """
@@ -165,27 +172,31 @@ class MeteringDevice(Process):
         device_id: DeviceId,
         config: DeviceConfig,
         grid: GridTopology,
-        channel: WirelessChannel,
+        transport: Transport | WirelessChannel,
         load_profile: LoadProfile,
     ) -> None:
         super().__init__(runtime, device_id.name)
+        if isinstance(transport, WirelessChannel):
+            from repro.transport.mqtt import MqttTransport
+
+            transport = MqttTransport(transport)
         self._device_id = device_id
         self._config = config
         self._grid = grid
-        self._channel = channel
+        self._transport = transport
         self._load_profile = load_profile
 
         self._mcu = Esp32Mcu(supply_voltage_v=config.voltage_v)
         self._sensor = Ina219(config.sensor, self.rng("sensor"))
         self._rtc = Ds3231Rtc(self.rng("rtc"))
-        self._radio = WifiRadio(config.wifi, self.rng("wifi"))
+        self._radio: RadioModel = transport.make_radio(self)
         self._meter = EnergyMeter(self._sensor, self.true_current_ma, config.voltage_v)
         self._store = LocalStore(config.storage_capacity)
         self._fsm = DeviceFsm(device_id)
         self._firmware = Firmware(
             self.sim, self._meter, self._on_measurement, config.t_measure_s
         )
-        self._client = MqttClient(self.context, f"{device_id.name}-mqtt", channel)
+        self._client: DeviceLink = transport.make_link(self.context, device_id.name)
 
         # The paper's threat model: "in-device energy metering is
         # susceptible to manipulation and fraud".  Installing an attack
@@ -329,7 +340,7 @@ class MeteringDevice(Process):
         self._mcu.set_state(McuState.WIFI_RX, self.now)
         scan_s = self._radio.scan_duration_s()
         handshake.scan_s = scan_s
-        rssi = self._channel.rssi_dbm(distance_m)
+        rssi = self._radio.rssi_dbm(distance_m)
 
         def _scanned() -> None:
             assoc_s = self._radio.association_duration_s()
@@ -338,12 +349,12 @@ class MeteringDevice(Process):
 
         def _associated() -> None:
             connect_s = self._client.connect(
-                access_point.broker, rssi, on_connected=_connected
+                access_point.endpoint, rssi, on_connected=_connected
             )
             handshake.connect_s = connect_s
 
         def _connected() -> None:
-            access_point.broker.subscribe(self._ctrl_topic, self._on_ctrl)
+            access_point.endpoint.subscribe(self._ctrl_topic, self._on_ctrl)
             # "All the devices in the network and the aggregators are
             # time-synchronized": put this RTC under the network's
             # discipline, with an immediate first correction.
@@ -372,7 +383,7 @@ class MeteringDevice(Process):
             raise ProtocolError(f"{self.name} has no candidate networks to scan")
         best: tuple[AccessPoint, float, float] | None = None
         for access_point, distance_m in candidates:
-            rssi = self._channel.rssi_dbm(distance_m)
+            rssi = self._radio.rssi_dbm(distance_m)
             self.trace(
                 "device.scan_candidate",
                 network=access_point.aggregator_id.name,
@@ -400,7 +411,7 @@ class MeteringDevice(Process):
             raise ProtocolError(f"{self.name} is not in any network")
         if self._client.connected:
             try:
-                self._current_ap.broker.unsubscribe(self._ctrl_topic, self._on_ctrl)
+                self._current_ap.endpoint.unsubscribe(self._ctrl_topic, self._on_ctrl)
             except Exception:
                 pass
             self._client.disconnect()
@@ -427,7 +438,7 @@ class MeteringDevice(Process):
         if not self._client.connected:
             raise ProtocolError(f"{self.name} is already disconnected")
         try:
-            self._current_ap.broker.unsubscribe(self._ctrl_topic, self._on_ctrl)
+            self._current_ap.endpoint.unsubscribe(self._ctrl_topic, self._on_ctrl)
         except Exception:
             pass
         self._client.disconnect()
@@ -447,16 +458,16 @@ class MeteringDevice(Process):
         if self._client.connected:
             raise ProtocolError(f"{self.name} is already connected")
         access_point = self._current_ap
-        rssi = self._channel.rssi_dbm(self._ap_distance_m)
+        rssi = self._radio.rssi_dbm(self._ap_distance_m)
         assoc_s = self._radio.association_duration_s()
 
         def _associated() -> None:
             def _connected() -> None:
-                access_point.broker.subscribe(self._ctrl_topic, self._on_ctrl)
+                access_point.endpoint.subscribe(self._ctrl_topic, self._on_ctrl)
                 access_point.timesync.register_clock(self.name, self._rtc)
                 self.trace("device.reconnected")
 
-            self._client.connect(access_point.broker, rssi, on_connected=_connected)
+            self._client.connect(access_point.endpoint, rssi, on_connected=_connected)
 
         self.sim.call_later(assoc_s, _associated, label=f"{self.name}:reassoc")
 

@@ -15,7 +15,6 @@ aggregator's own services subscribe locally with zero airtime).
 
 from __future__ import annotations
 
-import enum
 import itertools
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -26,30 +25,11 @@ from repro.net.channel import WirelessChannel
 from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 
-Subscriber = Callable[[str, Any], None]
+# QoS and topic matching now live with the transport interfaces; they
+# are re-exported here because this module defined them historically.
+from repro.transport.base import DeviceLink, Endpoint, QoS, Subscriber, topic_matches
 
-
-class QoS(enum.IntEnum):
-    """Supported MQTT quality-of-service levels."""
-
-    AT_MOST_ONCE = 0
-    AT_LEAST_ONCE = 1
-
-
-def topic_matches(pattern: str, topic: str) -> bool:
-    """MQTT topic-filter matching with ``+`` and trailing ``#``."""
-    pattern_parts = pattern.split("/")
-    topic_parts = topic.split("/")
-    for i, part in enumerate(pattern_parts):
-        if part == "#":
-            if i != len(pattern_parts) - 1:
-                raise NetworkError(f"'#' must be the last level in filter {pattern!r}")
-            return True
-        if i >= len(topic_parts):
-            return False
-        if part != "+" and part != topic_parts[i]:
-            return False
-    return len(pattern_parts) == len(topic_parts)
+__all__ = ["MqttBroker", "MqttClient", "QoS", "Subscriber", "topic_matches"]
 
 
 @dataclass
@@ -58,7 +38,7 @@ class _Subscription:
     callback: Subscriber
 
 
-class MqttBroker(Process):
+class MqttBroker(Process, Endpoint):
     """Topic router hosted by one aggregator.
 
     Args:
@@ -193,7 +173,7 @@ class MqttBroker(Process):
             self.sim.call_later(delay, _route, label=f"mqtt:{topic}")
 
 
-class MqttClient(Process):
+class MqttClient(Process, DeviceLink):
     """A device-side MQTT client publishing over the wireless channel.
 
     Args:
@@ -222,12 +202,9 @@ class MqttClient(Process):
         self._channel = channel
         self._max_retries = max_retries
         self._retry_backoff_s = retry_backoff_s
-        self._broker: MqttBroker | None = None
+        self._broker: Endpoint | None = None
         self._rssi_dbm: float | None = None
         self._injector: LinkFaultInjector | None = None
-        self._published = 0
-        self._dropped = 0
-        self._retransmissions = 0
 
     @property
     def connected(self) -> bool:
@@ -236,16 +213,21 @@ class MqttClient(Process):
 
     @property
     def stats(self) -> dict[str, int]:
-        """Counters: published, dropped, retransmissions."""
+        """Counters: published, dropped, retransmissions.
+
+        Backed by the shared :class:`~repro.monitoring.counters.CounterBank`
+        (namespaced by client name), so transport counters appear in the
+        same snapshot as every other actor's.
+        """
         return {
-            "published": self._published,
-            "dropped": self._dropped,
-            "retransmissions": self._retransmissions,
+            "published": self.counters.get(f"{self.name}.published"),
+            "dropped": self.counters.get(f"{self.name}.dropped"),
+            "retransmissions": self.counters.get(f"{self.name}.retransmissions"),
         }
 
     def connect(
         self,
-        broker: MqttBroker,
+        broker: Endpoint,
         rssi_dbm: float,
         on_connected: Callable[[], None] | None = None,
     ) -> float:
@@ -306,11 +288,11 @@ class MqttClient(Process):
             blocked = self._injector is not None and self._injector.packet_blocked()
             if not blocked and not self._channel.packet_lost(self._rssi_dbm):
                 self._broker.deliver(topic, payload, after_s=delay)
-                self._published += 1
+                self.count("published")
                 if attempt > 0:
-                    self._retransmissions += attempt
+                    self.count("retransmissions", attempt)
                 return True
             delay += self._retry_backoff_s
-        self._dropped += 1
+        self.count("dropped")
         self.trace("mqtt.drop", topic=topic)
         return False

@@ -21,6 +21,7 @@ from repro.runtime.spec import (
     NetworkSpec,
     ProfileSpec,
     ScenarioSpec,
+    TransportSpec,
 )
 
 __all__ = [
@@ -33,6 +34,7 @@ __all__ = [
     "ProfileSpec",
     "MeshSpec",
     "FaultSpec",
+    "TransportSpec",
     "build",
     "add_network",
     "add_device",

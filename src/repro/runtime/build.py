@@ -46,10 +46,12 @@ def _device_config(spec: ScenarioSpec, context: SimContext) -> DeviceConfig:
 def _channel_injector(
     scenario: Scenario, cache: dict[str, LinkFaultInjector], target: str
 ) -> LinkFaultInjector:
+    # Environment-scale faults (a jammer, an AP power loss) install on
+    # the transport so chaos schedules work on every backend.
     injector = cache.get(target)
     if injector is None:
         injector = scenario.fault_plan.make_injector(target)
-        scenario.channel.set_fault_injector(injector)
+        scenario.transport.set_fault_injector(injector)
         cache[target] = injector
     return injector
 
@@ -61,7 +63,7 @@ def _broker_injector(
     injector = cache.get(key)
     if injector is None:
         injector = scenario.fault_plan.make_injector(key)
-        scenario.aggregator(target).broker.set_fault_injector(injector)
+        scenario.aggregator(target).endpoint.set_fault_injector(injector)
         cache[key] = injector
     return injector
 
@@ -121,6 +123,7 @@ def add_network(
         scenario.mesh,
         network,
         aggregator_config,
+        transport=scenario.transport,
     )
     scenario.aggregators[name] = unit
     unit.start()
@@ -139,7 +142,7 @@ def add_device(
         DeviceId(name),
         device_config,
         scenario.grid,
-        scenario.channel,
+        scenario.transport if scenario.transport is not None else scenario.channel,
         profile,
     )
     scenario.devices[name] = device
@@ -173,12 +176,18 @@ def build(
         shared counter bank.
     """
     ctx = context if context is not None else SimContext.create(seed=spec.seed)
+    channel = (
+        WirelessChannel(ChannelParams(), ctx.stream("channel"), counters=ctx.counters)
+        if spec.transport.kind == "mqtt"
+        else None
+    )
     scenario = Scenario(
         simulator=ctx.simulator,
         grid=GridTopology(),
         chain=Blockchain(authorized=set(), counters=ctx.counters),
         mesh=BackhaulMesh(ctx),
-        channel=WirelessChannel(ChannelParams(), ctx.stream("channel"), counters=ctx.counters),
+        channel=channel,
+        transport=spec.transport.build(channel),
         context=ctx,
         spec=spec,
         master_seed=ctx.master_seed,

@@ -25,6 +25,7 @@ from repro.net.channel import WirelessChannel
 from repro.runtime.context import SimContext
 from repro.runtime.spec import ScenarioSpec
 from repro.sim.kernel import Simulator
+from repro.transport.base import Transport
 
 if TYPE_CHECKING:
     from repro.faults.plan import FaultPlan
@@ -41,16 +42,20 @@ class Scenario:
     """A fully wired simulation world.
 
     Attributes map one-to-one onto the architecture of Fig. 1; the
-    experiment harnesses only ever talk to a Scenario.
+    experiment harnesses only ever talk to a Scenario.  ``channel`` is
+    ``None`` when the world runs on a radio-less transport backend
+    (``transport: direct``); ``transport`` carries the wire backend the
+    devices and aggregators were wired with.
     """
 
     simulator: Simulator
     grid: GridTopology
     chain: Blockchain
     mesh: BackhaulMesh
-    channel: WirelessChannel
+    channel: WirelessChannel | None
     aggregators: dict[str, AggregatorUnit] = field(default_factory=dict)
     devices: dict[str, MeteringDevice] = field(default_factory=dict)
+    transport: Transport | None = None
     context: SimContext | None = None
     spec: ScenarioSpec | None = None
     master_seed: int = 0

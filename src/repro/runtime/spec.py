@@ -24,6 +24,7 @@ from repro.errors import ConfigError
 
 PROFILE_KINDS = ("constant", "duty_cycle", "sinusoid")
 MESH_TOPOLOGIES = ("full", "line", "star", "explicit")
+TRANSPORT_KINDS = ("mqtt", "direct")
 FAULT_KINDS = (
     "channel_blackout",
     "channel_noise",
@@ -255,6 +256,100 @@ class MeshSpec:
 
 
 @dataclass(frozen=True)
+class TransportSpec:
+    """Which wire backend carries device-to-aggregator traffic.
+
+    Attributes:
+        kind: ``mqtt`` (full radio fidelity — airtime, RSSI loss,
+            connect jitter; the default, and the backend the pinned
+            determinism digest is taken on) or ``direct`` (in-process
+            topic router with fixed latency/loss, for large fleets).
+        latency_s: Per-attempt link latency (``direct`` only).
+        loss_p: Per-attempt loss probability (``direct`` only; 0
+            disables the loss draw entirely).
+        connect_s: Session connect latency (``direct`` only; the MQTT
+            backend models its own connect jitter).
+        scan_s: Fixed network-scan latency (``direct`` only).
+        assoc_s: Fixed association latency (``direct`` only).
+    """
+
+    kind: str = "mqtt"
+    latency_s: float = 0.0005
+    loss_p: float = 0.0
+    connect_s: float = 0.35
+    scan_s: float = 4.29
+    assoc_s: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in TRANSPORT_KINDS:
+            raise ConfigError(
+                f"transport kind must be one of {TRANSPORT_KINDS}, got {self.kind!r}"
+            )
+        if self.latency_s < 0:
+            raise ConfigError(f"transport latency must be >= 0, got {self.latency_s}")
+        if not 0.0 <= self.loss_p < 1.0:
+            raise ConfigError(f"transport loss must be in [0, 1), got {self.loss_p}")
+        if self.connect_s <= 0:
+            raise ConfigError(
+                f"transport connect latency must be positive, got {self.connect_s}"
+            )
+        if self.scan_s < 0 or self.assoc_s < 0:
+            raise ConfigError(
+                f"scan/assoc latencies must be >= 0, got {self.scan_s}/{self.assoc_s}"
+            )
+
+    def build(self, channel: Any = None) -> Any:
+        """Instantiate the :class:`~repro.transport.base.Transport`.
+
+        Args:
+            channel: The scenario's wireless channel (``mqtt`` only).
+        """
+        # Imported lazily, matching ProfileSpec.build: keep the spec
+        # layer importable without pulling in every backend.
+        if self.kind == "mqtt":
+            from repro.transport.mqtt import MqttTransport
+
+            return MqttTransport(channel)
+        from repro.transport.direct import DirectTransport
+
+        return DirectTransport(
+            latency_s=self.latency_s,
+            loss_p=self.loss_p,
+            connect_s=self.connect_s,
+            scan_s=self.scan_s,
+            assoc_s=self.assoc_s,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "kind": self.kind,
+            "latency_s": self.latency_s,
+            "loss_p": self.loss_p,
+            "connect_s": self.connect_s,
+            "scan_s": self.scan_s,
+            "assoc_s": self.assoc_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TransportSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"kind", "latency_s", "loss_p", "connect_s", "scan_s", "assoc_s"},
+            "transport",
+        )
+        return cls(
+            kind=data.get("kind", "mqtt"),
+            latency_s=data.get("latency_s", 0.0005),
+            loss_p=data.get("loss_p", 0.0),
+            connect_s=data.get("connect_s", 0.35),
+            scan_s=data.get("scan_s", 4.29),
+            assoc_s=data.get("assoc_s", 1.2),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -347,6 +442,9 @@ class ScenarioSpec:
         networks: The grid networks (one aggregator each).
         devices: The metering devices.
         mesh: Backhaul shape over the networks.
+        transport: Wire backend between devices and aggregators
+            (default: full-fidelity ``mqtt``, so existing specs are
+            unchanged).
         faults: Deterministic fault schedule (empty: a clean world).
     """
 
@@ -357,6 +455,7 @@ class ScenarioSpec:
     t_measure_s: float = 0.1
     device_retry: bool = True
     mesh: MeshSpec = field(default_factory=MeshSpec)
+    transport: TransportSpec = field(default_factory=TransportSpec)
     faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
@@ -412,6 +511,7 @@ class ScenarioSpec:
             "networks": [n.to_dict() for n in self.networks],
             "devices": [d.to_dict() for d in self.devices],
             "mesh": self.mesh.to_dict(),
+            "transport": self.transport.to_dict(),
             "faults": [f.to_dict() for f in self.faults],
         }
 
@@ -421,7 +521,7 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "faults"},
+             "mesh", "transport", "faults"},
             "scenario",
         )
         return cls(
@@ -432,6 +532,11 @@ class ScenarioSpec:
             networks=tuple(NetworkSpec.from_dict(n) for n in data.get("networks", [])),
             devices=tuple(DeviceSpec.from_dict(d) for d in data.get("devices", [])),
             mesh=MeshSpec.from_dict(data["mesh"]) if "mesh" in data else MeshSpec(),
+            transport=(
+                TransportSpec.from_dict(data["transport"])
+                if "transport" in data
+                else TransportSpec()
+            ),
             faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", [])),
         )
 

@@ -30,6 +30,7 @@ from repro.runtime.spec import (
     NetworkSpec,
     ProfileSpec,
     ScenarioSpec,
+    TransportSpec,
 )
 from repro.workloads.mobility import MobilityTrace
 
@@ -82,6 +83,7 @@ def paper_testbed_spec(
     device_retry: bool = True,
     faults: tuple[FaultSpec, ...] = (),
     name: str = "paper-testbed",
+    transport: TransportSpec | None = None,
 ) -> ScenarioSpec:
     """The paper's testbed: 2 networks ("agg1", "agg2") x 2 devices each.
 
@@ -97,6 +99,7 @@ def paper_testbed_spec(
         device_retry: Whether devices run the Ack-timeout retry path.
         faults: Optional deterministic fault schedule.
         name: Scenario name recorded in provenance.
+        transport: Wire backend (default: full-fidelity ``mqtt``).
     """
     # Wiring losses sized so the per-interval feeder overhead spans the
     # paper's observed 0.9-8.2 % across low/high load phases: constant
@@ -121,6 +124,7 @@ def paper_testbed_spec(
             for device, profile in _PAPER_PROFILES.items()
         ),
         mesh=MeshSpec(topology="full", latency_s=0.001),
+        transport=transport if transport is not None else TransportSpec(),
         faults=faults,
     )
 
@@ -133,6 +137,7 @@ def scaled_spec(
     slot_count: int | None = None,
     enter_devices: bool = True,
     mesh_topology: str = "full",
+    transport: TransportSpec | None = None,
 ) -> ScenarioSpec:
     """N networks with M duty-cycled devices each.
 
@@ -189,6 +194,7 @@ def scaled_spec(
             for j in range(devices_per_network)
         ),
         mesh=MeshSpec(topology=mesh_topology, latency_s=0.001),
+        transport=transport if transport is not None else TransportSpec(),
     )
 
 
@@ -224,6 +230,7 @@ def build_scaled_scenario(
     slot_count: int | None = None,
     enter_devices: bool = True,
     mesh_topology: str = "full",
+    transport: TransportSpec | None = None,
 ) -> Scenario:
     """Compile the scaled N x M world (see :func:`scaled_spec`)."""
     return build(
@@ -235,6 +242,7 @@ def build_scaled_scenario(
             slot_count=slot_count,
             enter_devices=enter_devices,
             mesh_topology=mesh_topology,
+            transport=transport,
         )
     )
 
@@ -363,6 +371,7 @@ def partition_spec(
         networks=base.networks,
         devices=devices,
         mesh=base.mesh,
+        transport=base.transport,
         faults=base.faults,
     )
 
