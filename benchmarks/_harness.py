@@ -1,0 +1,129 @@
+"""Shared helpers for the standalone benchmark scripts.
+
+The ``bench_*.py`` scripts that run without pytest (``bench_kernel.py``,
+``bench_fleet.py --smoke``) emit their measurements as ``BENCH_*.json``
+files through this module, so CI can upload the artifacts and compare a
+fresh run against the numbers committed in the repository.
+
+File layout (one file per suite)::
+
+    {
+      "suite": "kernel",
+      "configs": {
+        "full":  {"<case>": {"events": N, "wall_s": W, "events_per_s": R,
+                              "reference_events_per_s": R0, "speedup": S}},
+        "smoke": {...}
+      }
+    }
+
+``reference_events_per_s`` records the same case measured on the
+pre-optimisation kernel (``attach_reference``); ``check_regression``
+compares a fresh run against the committed rates of the *same* config
+and flags any case that lost more than the threshold.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+
+def measure(
+    fn: Callable[..., Any], *args: Any, repeats: int = 1, **kwargs: Any
+) -> tuple[Any, float]:
+    """Run ``fn`` ``repeats`` times; returns (last result, best wall seconds).
+
+    Simulated runs are deterministic, so every repeat produces the same
+    result; taking the minimum wall time screens out scheduler noise —
+    essential for the sub-second smoke configs CI gates on.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def case(events: int, wall_s: float) -> dict[str, Any]:
+    """One case's record from an event count and its wall time."""
+    return {
+        "events": int(events),
+        "wall_s": round(wall_s, 3),
+        "events_per_s": int(events / wall_s) if wall_s > 0 else 0,
+    }
+
+
+def attach_reference(
+    cases: dict[str, dict[str, Any]], reference_path: str | Path, config: str
+) -> None:
+    """Fold a reference run's rates (and speedups) into ``cases`` in place.
+
+    ``reference_path`` is a file previously produced by ``write_results``
+    from the same script — typically executed against the
+    pre-optimisation tree — whose ``config`` section holds the baseline.
+    """
+    data = json.loads(Path(reference_path).read_text())
+    recorded = data.get("configs", {}).get(config, {})
+    for name, current in cases.items():
+        reference = recorded.get(name)
+        if not reference:
+            continue
+        current["reference_events_per_s"] = reference["events_per_s"]
+        if reference["events_per_s"] > 0:
+            current["speedup"] = round(
+                current["events_per_s"] / reference["events_per_s"], 2
+            )
+
+
+def write_results(
+    path: str | Path, suite: str, config: str, cases: dict[str, dict[str, Any]]
+) -> None:
+    """Write (or update) ``path`` with ``cases`` under ``configs[config]``.
+
+    Other configs already in the file are preserved, so the full and
+    smoke variants of a suite share one committed artifact.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data: dict[str, Any] = {"suite": suite, "configs": {}}
+    if path.exists():
+        data = json.loads(path.read_text())
+        data.setdefault("configs", {})
+    data["suite"] = suite
+    data["configs"][config] = cases
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def check_regression(
+    cases: dict[str, dict[str, Any]],
+    committed_path: str | Path,
+    config: str,
+    threshold: float = 0.30,
+) -> list[str]:
+    """Compare fresh ``cases`` against the committed file's same config.
+
+    Returns one message per case whose throughput dropped more than
+    ``threshold`` below the committed rate (empty list = pass).  Cases
+    present on only one side are ignored — CI machines may not run every
+    config.
+    """
+    data = json.loads(Path(committed_path).read_text())
+    recorded = data.get("configs", {}).get(config)
+    if not recorded:
+        return [f"no committed {config!r} config in {committed_path}"]
+    failures = []
+    for name, current in cases.items():
+        base = recorded.get(name)
+        if not base:
+            continue
+        floor = base["events_per_s"] * (1.0 - threshold)
+        if current["events_per_s"] < floor:
+            failures.append(
+                f"{name}: {current['events_per_s']:,} events/s is more than "
+                f"{threshold:.0%} below the committed {base['events_per_s']:,}"
+            )
+    return failures

@@ -1,0 +1,163 @@
+"""Kernel throughput benchmark: raw event loop and the 1k-device fleet.
+
+Measures the discrete-event hot path at four grains:
+
+* ``raw_chain`` — bare schedule/dispatch cycles (parallel callback
+  chains, no model code): the kernel's ceiling.
+* ``periodic_tasks`` — the :meth:`Simulator.every` re-arm path.
+* ``same_instant_burst`` — many events at identical timestamps, the
+  batched-execution path (clock written once per instant).
+* ``fleet_1k_direct`` — the headline: 1,000 devices across 50 direct-
+  transport networks, 20 simulated seconds, tracing off.  This is the
+  case the committed ``BENCH_kernel.json`` tracks against the
+  pre-optimisation kernel.
+
+Run standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --smoke \
+        --out BENCH_kernel.json --check BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import attach_reference, case, check_regression, measure, write_results
+from repro.runtime import TransportSpec, build
+from repro.runtime.context import SimContext
+from repro.sim.kernel import Simulator
+from repro.workloads.scenarios import scaled_spec
+
+
+def run_raw_chain(n_events: int, chains: int = 100) -> Simulator:
+    """Parallel callback chains: schedule + pop + dispatch, nothing else."""
+    sim = Simulator(trace=False)
+    per_chain = n_events // chains
+    call_later = sim.call_later
+
+    def make_tick() -> object:
+        remaining = per_chain
+
+        def tick() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining > 0:
+                call_later(0.001, tick)
+
+        return tick
+
+    for i in range(chains):
+        call_later(0.001 * (1 + i / chains), make_tick())
+    sim.run(max_events=n_events * 2)
+    return sim
+
+
+def run_periodic(n_events: int, tasks: int = 200) -> Simulator:
+    """Periodic tasks re-arming through :class:`PeriodicTask`."""
+    sim = Simulator(trace=False)
+    interval = 0.01
+    for i in range(tasks):
+        sim.every(interval, lambda: None, first_at=interval + i * 1e-5)
+    sim.run_until(interval * (n_events // tasks))
+    return sim
+
+
+def run_same_instant_burst(n_events: int, burst: int = 1000) -> Simulator:
+    """Bursts of events at one timestamp (the clock moves once per burst)."""
+    sim = Simulator(trace=False)
+    for instant in range(max(1, n_events // burst)):
+        at = 1.0 + instant * 0.01
+        for _ in range(burst):
+            sim.schedule(at, lambda: None)
+    sim.run()
+    return sim
+
+
+def run_fleet(n_networks: int, devices_per_network: int, horizon_s: float) -> Simulator:
+    """The direct-transport fleet, tracing off (the headline case)."""
+    spec = scaled_spec(
+        n_networks=n_networks,
+        devices_per_network=devices_per_network,
+        seed=77,
+        transport=TransportSpec(kind="direct"),
+    )
+    scenario = build(spec, context=SimContext.create(seed=77, trace=False))
+    scenario.simulator.run_until(horizon_s)
+    return scenario.simulator
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small event counts and a tiny fleet (the CI configuration)",
+    )
+    parser.add_argument(
+        "--out", metavar="JSON", help="write/update this BENCH_kernel.json file"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="JSON",
+        help="fail when any case drops >30%% below this file's committed rates",
+    )
+    parser.add_argument(
+        "--reference",
+        metavar="JSON",
+        help=(
+            "a prior run of this script (e.g. against the pre-optimisation "
+            "tree) to record as reference_events_per_s/speedup"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    config = "smoke" if args.smoke else "full"
+    if args.smoke:
+        # Repeats + best-of screen out scheduler noise: the smoke cases
+        # are sub-second and CI gates on them with a 30% threshold.
+        kernel_events, fleet_shape, repeats = 50_000, (4, 5, 10.0), 5
+    else:
+        kernel_events, fleet_shape, repeats = 500_000, (50, 20, 20.0), 1
+
+    cases = {}
+    for name, fn, fn_args in (
+        ("raw_chain", run_raw_chain, (kernel_events,)),
+        ("periodic_tasks", run_periodic, (kernel_events,)),
+        ("same_instant_burst", run_same_instant_burst, (kernel_events,)),
+        ("fleet_1k_direct", run_fleet, fleet_shape),
+    ):
+        sim, wall = measure(fn, *fn_args, repeats=repeats)
+        cases[name] = case(sim.events_executed, wall)
+        print(
+            f"{name}: {cases[name]['events']:,} events in "
+            f"{cases[name]['wall_s']:.2f}s = {cases[name]['events_per_s']:,} events/s"
+        )
+
+    if args.reference:
+        attach_reference(cases, args.reference, config)
+        for name, record in cases.items():
+            if "speedup" in record:
+                print(
+                    f"{name}: {record['speedup']}x vs reference "
+                    f"{record['reference_events_per_s']:,} events/s"
+                )
+
+    failures = []
+    if args.check and Path(args.check).exists():
+        failures = check_regression(cases, args.check, config)
+        for failure in failures:
+            print(f"REGRESSION {failure}", file=sys.stderr)
+
+    if args.out:
+        write_results(args.out, "kernel", config, cases)
+        print(f"wrote {args.out} [{config}]")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,7 @@ from repro.ids import AggregatorId, DeviceId, NetworkAddress
 from repro.monitoring.timeseries import SeriesBank
 from repro.net.tdma import TdmaSchedule
 from repro.net.timesync import TimeSyncService
-from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.codec import as_message, encode_message
 from repro.protocol.messages import (
     Ack,
     ConsumptionReport,
@@ -180,6 +180,15 @@ class AggregatorUnit(Process):
         self._broker.subscribe("meter/+/mgmt", self._on_mgmt_response)
         self._next_mgmt_request = 1
         self._mgmt_responses: dict[int, MgmtResponse] = {}
+        # In-process endpoints take message dataclasses verbatim; radio
+        # endpoints need encoded wire bytes.
+        self._wire_bytes = self._broker.wire_bytes
+        # Per-event strings built once: the report path formats nothing
+        # per message.
+        self._ctrl_topics: dict[DeviceId, str] = {}
+        self._received_keys: dict[DeviceId, str] = {}
+        self._report_label = f"{self.name}:report"
+        self._reg_label = f"{self.name}:reg"
 
     # -- introspection ---------------------------------------------------
 
@@ -293,9 +302,12 @@ class AggregatorUnit(Process):
         )
 
     def _send_to_device(self, device_id: DeviceId, message: Any) -> None:
+        topic = self._ctrl_topics.get(device_id)
+        if topic is None:
+            topic = self._ctrl_topics[device_id] = f"device/{device_id.name}/ctrl"
         self._broker.deliver(
-            f"device/{device_id.name}/ctrl",
-            encode_message(message),
+            topic,
+            encode_message(message) if self._wire_bytes else message,
             after_s=self._config.downlink_latency_s,
         )
 
@@ -314,12 +326,12 @@ class AggregatorUnit(Process):
     # -- registration (Fig. 3, sequences 1 and 2) ---------------------------
 
     def _on_register(self, topic: str, payload: Any) -> None:
-        message = decode_message(payload)
+        message = as_message(payload)
         if not isinstance(message, RegistrationRequest):
             raise ProtocolError(f"non-registration message on {topic}")
         delay = self._host.processing_latency_s()
         self.sim.call_later(
-            delay, lambda: self._process_registration(message), label=f"{self.name}:reg"
+            delay, lambda: self._process_registration(message), label=self._reg_label
         )
 
     def _process_registration(self, request: RegistrationRequest) -> None:
@@ -416,12 +428,12 @@ class AggregatorUnit(Process):
     # -- reports -------------------------------------------------------------
 
     def _on_report(self, topic: str, payload: Any) -> None:
-        message = decode_message(payload)
+        message = as_message(payload)
         if not isinstance(message, ConsumptionReport):
             raise ProtocolError(f"non-report message on {topic}")
         delay = self._host.processing_latency_s()
         self.sim.call_later(
-            delay, lambda: self._process_report(message), label=f"{self.name}:report"
+            delay, lambda: self._process_report(message), label=self._report_label
         )
 
     def _process_report(self, report: ConsumptionReport) -> None:
@@ -441,7 +453,10 @@ class AggregatorUnit(Process):
             return
         self._registry.touch(device_id, self.now)
         self._aggregation.add_report(device_id, report.measured_at, report.current_ma)
-        self._bank.record(f"received:{device_id.name}", self.now, report.current_ma, "mA")
+        received_key = self._received_keys.get(device_id)
+        if received_key is None:
+            received_key = self._received_keys[device_id] = f"received:{device_id.name}"
+        self._bank.record(received_key, self.now, report.current_ma, "mA")
         if member.kind == MembershipKind.TEMPORARY:
             # Host as cost center: Ack locally, forward home.
             self._ack(device_id, report.sequence)
@@ -482,7 +497,7 @@ class AggregatorUnit(Process):
         return request_id
 
     def _on_mgmt_response(self, topic: str, payload: Any) -> None:
-        message = decode_message(payload)
+        message = as_message(payload)
         if not isinstance(message, MgmtResponse):
             raise ProtocolError(f"non-mgmt message on {topic}")
         self._mgmt_responses[message.request_id] = message
@@ -490,7 +505,7 @@ class AggregatorUnit(Process):
     # -- billing-dispute receipts --------------------------------------------
 
     def _on_receipt_request(self, topic: str, payload: Any) -> None:
-        message = decode_message(payload)
+        message = as_message(payload)
         if not isinstance(message, ReceiptRequest):
             raise ProtocolError(f"non-receipt message on {topic}")
         delay = self._host.processing_latency_s()

@@ -8,6 +8,7 @@ verification pipeline; the A6 experiment sweeps attacks across them.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, insort
 from collections import deque
 from dataclasses import dataclass
 
@@ -110,13 +111,18 @@ class RelativeVariationDetector:
         if threshold <= 0:
             raise AnomalyError(f"threshold must be positive, got {threshold}")
         self._window: deque[float] = deque(maxlen=window)
+        # The same values kept sorted, maintained incrementally with
+        # bisect — screening runs per report, and a full sort of the
+        # window per call dominated the verification pipeline.
+        self._ordered: list[float] = []
         self._threshold = threshold
 
     def screen(self, current_ma: float) -> Detection:
         """Verdict for one report, then absorb it into the history."""
         verdict = Detection(False)
-        if len(self._window) >= self._window.maxlen // 2:
-            ordered = sorted(self._window)
+        window = self._window
+        ordered = self._ordered
+        if len(ordered) >= window.maxlen // 2:
             median = ordered[len(ordered) // 2]
             if median > 1e-9:
                 deviation = abs(current_ma - median) / median
@@ -124,7 +130,12 @@ class RelativeVariationDetector:
                     verdict = Detection(
                         True, deviation, f"deviates {deviation:.1%} from rolling median"
                     )
-        self._window.append(current_ma)
+        if len(window) == window.maxlen:
+            # The deque is about to evict its oldest on append; mirror
+            # that in the sorted view.
+            del ordered[bisect_left(ordered, window[0])]
+        window.append(current_ma)
+        insort(ordered, current_ma)
         return verdict
 
 

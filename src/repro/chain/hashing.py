@@ -14,17 +14,21 @@ from typing import Any
 
 from repro.errors import ChainError
 
+# One encoder instance for every canonicalisation: json.dumps would
+# rebuild it per call when given non-default options, and block hashing
+# runs on the report hot path.
+_CANONICAL_ENCODER = json.JSONEncoder(
+    sort_keys=True,
+    separators=(",", ":"),
+    allow_nan=False,
+    ensure_ascii=True,
+)
+
 
 def canonical_bytes(value: Any) -> bytes:
     """Deterministic byte serialisation of a JSON-compatible value."""
     try:
-        text = json.dumps(
-            value,
-            sort_keys=True,
-            separators=(",", ":"),
-            allow_nan=False,
-            ensure_ascii=True,
-        )
+        text = _CANONICAL_ENCODER.encode(value)
     except (TypeError, ValueError) as exc:
         raise ChainError(f"value is not canonically serialisable: {exc}") from exc
     return text.encode("utf-8")

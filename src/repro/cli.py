@@ -58,6 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="simulated time to run a --scenario world to (default: 30)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run experiments across N worker processes (outputs are "
+            "identical for any N; default: 1)"
+        ),
+    )
     return parser
 
 
@@ -88,7 +98,7 @@ def main(argv: list[str] | None = None) -> int:
             (out_dir / "scenario_snapshot.json").write_text(text + "\n")
         return 0
     names = args.experiments or None
-    outputs = run_all(names)
+    outputs = run_all(names, workers=args.workers)
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)

@@ -30,7 +30,7 @@ from repro.hw.esp32 import Esp32Mcu, McuState
 from repro.hw.ina219 import Ina219, Ina219Config
 from repro.ids import AggregatorId, DeviceId
 from repro.net.channel import WirelessChannel
-from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.codec import as_message, encode_message
 from repro.protocol.device_fsm import DeviceFsm, DevicePhase, FsmDecision
 from repro.protocol.messages import (
     Ack,
@@ -197,6 +197,10 @@ class MeteringDevice(Process):
             self.sim, self._meter, self._on_measurement, config.t_measure_s
         )
         self._client: DeviceLink = transport.make_link(self.context, device_id.name)
+        # In-process backends take message dataclasses verbatim; radio
+        # backends need the encoded wire bytes (and their size, for
+        # airtime).  Resolved once — the link never changes backend.
+        self._wire_bytes = self._client.wire_bytes
 
         # The paper's threat model: "in-device energy metering is
         # susceptible to manipulation and fraud".  Installing an attack
@@ -208,6 +212,12 @@ class MeteringDevice(Process):
         self._current_ap: AccessPoint | None = None
         self._ap_distance_m = 5.0
         self._ctrl_topic = f"device/{device_id.name}/ctrl"
+        # Report-path strings, built once: the per-measurement transmit
+        # path must do zero string formatting per event.
+        self._report_topic = f"meter/{device_id.name}/report"
+        self._ack_timeout_label = f"{self.name}:ack-timeout"
+        self._flush_label = f"{self.name}:flush"
+        self._flush_retry_label = f"{self.name}:flush-retry"
         self._handshakes: list[HandshakeRecord] = []
         self._acked_sequences: set[int] = set()
         self._inflight: dict[int, ConsumptionReport] = {}
@@ -526,14 +536,26 @@ class MeteringDevice(Process):
             buffered=report.buffered,
         )
 
+    def _publish_message(
+        self, topic: str, message: Any, qos: QoS = QoS.AT_LEAST_ONCE
+    ) -> bool:
+        """Publish ``message`` in the link's wire form.
+
+        Radio backends get encoded bytes plus the payload size that
+        drives airtime; in-process backends get the frozen dataclass
+        itself, skipping the codec round-trip per message.
+        """
+        if self._wire_bytes:
+            payload = encode_message(message)
+            return self._client.publish(
+                topic, payload, qos=qos, payload_bytes=len(payload)
+            )
+        return self._client.publish(topic, message, qos=qos)
+
     def _transmit(self, report: ConsumptionReport) -> None:
-        payload = encode_message(report)
         self._mcu.set_state(McuState.WIFI_TX, self.now)
-        delivered = self._client.publish(
-            f"meter/{self._device_id.name}/report",
-            payload,
-            qos=self._config.report_qos,
-            payload_bytes=len(payload),
+        delivered = self._publish_message(
+            self._report_topic, report, qos=self._config.report_qos
         )
         self._mcu.set_state(McuState.IDLE, self.now)
         if delivered:
@@ -547,7 +569,7 @@ class MeteringDevice(Process):
                 self.sim.call_later(
                     self._config.retry.timeout_s,
                     lambda: self._on_report_timeout(sequence),
-                    label=f"{self.name}:ack-timeout",
+                    label=self._ack_timeout_label,
                 )
         else:
             # All QoS-1 retries failed (deep fade): keep the data.
@@ -606,7 +628,7 @@ class MeteringDevice(Process):
         self._flush_retries += 1
         self.count("flush_retries")
         self.sim.call_later(
-            backoff, self._flush_buffer, label=f"{self.name}:flush-retry"
+            backoff, self._flush_buffer, label=self._flush_retry_label
         )
 
     def _flush_buffer(self) -> None:
@@ -619,7 +641,7 @@ class MeteringDevice(Process):
         if not self._store.is_empty:
             # Spread remaining backlog over subsequent slots.
             self.sim.call_later(
-                self._config.t_measure_s, self._flush_buffer, label=f"{self.name}:flush"
+                self._config.t_measure_s, self._flush_buffer, label=self._flush_label
             )
         self.trace("device.flush", flushed=len(batch), remaining=self._store.pending)
 
@@ -640,13 +662,7 @@ class MeteringDevice(Process):
         if not self._client.connected:
             raise ProtocolError(f"{self.name} cannot request receipts while offline")
         request = ReceiptRequest(self._device_id, sequence)
-        payload = encode_message(request)
-        self._client.publish(
-            f"meter/{self._device_id.name}/receipt",
-            payload,
-            qos=QoS.AT_LEAST_ONCE,
-            payload_bytes=len(payload),
-        )
+        self._publish_message(f"meter/{self._device_id.name}/receipt", request)
 
     def _on_receipt_response(self, message: ReceiptResponse) -> None:
         from repro.chain.receipts import receipt_from_dict
@@ -679,13 +695,7 @@ class MeteringDevice(Process):
             ok = False
         response = MgmtResponse(self._device_id, command.request_id, ok, payload)
         if self._client.connected:
-            encoded = encode_message(response)
-            self._client.publish(
-                f"meter/{self._device_id.name}/mgmt",
-                encoded,
-                qos=QoS.AT_LEAST_ONCE,
-                payload_bytes=len(encoded),
-            )
+            self._publish_message(f"meter/{self._device_id.name}/mgmt", response)
         self.trace("device.mgmt", command=command.command, ok=ok)
 
     # -- protocol ----------------------------------------------------------
@@ -693,13 +703,7 @@ class MeteringDevice(Process):
     def _send_registration(self, request: RegistrationRequest) -> None:
         if not self._client.connected:
             raise ProtocolError(f"{self.name} cannot register while disconnected")
-        payload = encode_message(request)
-        self._client.publish(
-            f"meter/{self._device_id.name}/register",
-            payload,
-            qos=QoS.AT_LEAST_ONCE,
-            payload_bytes=len(payload),
-        )
+        self._publish_message(f"meter/{self._device_id.name}/register", request)
         self.trace(
             "device.register",
             temporary=request.is_temporary,
@@ -758,21 +762,8 @@ class MeteringDevice(Process):
             self._flush_buffer()
 
     def _on_ctrl(self, topic: str, payload: Any) -> None:
-        message = decode_message(payload)
-        if isinstance(message, RegistrationResponse):
-            self._cancel_reg_watchdog()
-            decision = self._fsm.registration_response(message)
-            handshake = self.last_handshake
-            if handshake is not None and handshake.registered_at is None:
-                handshake.registered_at = self.now
-                handshake.temporary = message.temporary
-            self.trace(
-                "device.registered",
-                address=str(message.address),
-                temporary=message.temporary,
-            )
-            self._apply_decision(decision)
-        elif isinstance(message, Ack):
+        message = as_message(payload)
+        if isinstance(message, Ack):
             if message.sequence is not None:
                 self._acked_sequences.add(message.sequence)
                 self._inflight.pop(message.sequence, None)
@@ -787,6 +778,19 @@ class MeteringDevice(Process):
             # is accepted, any backlog follows.
             if not self._store.is_empty:
                 self._flush_buffer()
+        elif isinstance(message, RegistrationResponse):
+            self._cancel_reg_watchdog()
+            decision = self._fsm.registration_response(message)
+            handshake = self.last_handshake
+            if handshake is not None and handshake.registered_at is None:
+                handshake.registered_at = self.now
+                handshake.temporary = message.temporary
+            self.trace(
+                "device.registered",
+                address=str(message.address),
+                temporary=message.temporary,
+            )
+            self._apply_decision(decision)
         elif isinstance(message, Nack):
             self.trace("device.nack", reason=message.reason.value)
             if message.reason == NackReason.NETWORK_FULL:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
+from repro.experiments.sweeps import sweep
 from repro.faults import FaultPlan
 from repro.runtime import FaultSpec, build
 from repro.workloads.scenarios import (
@@ -170,50 +171,74 @@ class SweepPoint:
     report_timeouts: int
 
 
+def _fault_sweep_point(
+    intensity: float, seed: int, run_s: float, retry: bool
+) -> dict[str, float | int]:
+    """One broker-noise run at ``intensity`` (module-level: sweeps pickle
+    this into worker processes)."""
+    if not 0.0 <= intensity < 1.0:
+        raise ExperimentError(f"intensity must be in [0, 1), got {intensity}")
+    spec = paper_testbed_spec(
+        seed=seed,
+        device_retry=retry,
+        name="paper-testbed-broker-noise",
+        faults=tuple(
+            FaultSpec(
+                kind="broker_noise",
+                name=f"{agg_name}-loss",
+                start_at=0.0,
+                target=agg_name,
+                params={"drop_p": intensity * 0.7, "corrupt_p": intensity * 0.3},
+            )
+            for agg_name in ("agg1", "agg2")
+        ),
+    )
+    scenario = build(spec)
+    result = settle_and_measure(scenario, scenario.fault_plan, run_s, seed=seed)
+    return {
+        "delivery_ratio": result.delivery_ratio,
+        "billing_error": result.billing_error,
+        "report_timeouts": sum(
+            d.retry_stats.get("report_timeouts", 0)
+            for d in result.devices.values()
+        ),
+    }
+
+
 def run_fault_sweep(
     intensities: list[float],
     seed: int = 0,
     run_s: float = 30.0,
     retry: bool = True,
+    workers: int = 1,
 ) -> list[SweepPoint]:
     """Sweep broker-side message loss and score delivery each time.
 
     ``intensity`` is the probability any broker-routed message (report
     up, Ack down) is dropped or corrupted — the regime where QoS-1
     *thinks* it delivered, which only the Ack-timeout retry path can
-    recover.
+    recover.  ``workers`` > 1 runs intensities across a process pool;
+    results are identical to a serial sweep for any worker count.
     """
-    points: list[SweepPoint] = []
-    for intensity in intensities:
-        if not 0.0 <= intensity < 1.0:
-            raise ExperimentError(f"intensity must be in [0, 1), got {intensity}")
-        spec = paper_testbed_spec(
-            seed=seed,
-            device_retry=retry,
-            name="paper-testbed-broker-noise",
-            faults=tuple(
-                FaultSpec(
-                    kind="broker_noise",
-                    name=f"{agg_name}-loss",
-                    start_at=0.0,
-                    target=agg_name,
-                    params={"drop_p": intensity * 0.7, "corrupt_p": intensity * 0.3},
-                )
-                for agg_name in ("agg1", "agg2")
-            ),
+    if not intensities:
+        return []
+    _, rows = sweep(
+        _fault_sweep_point,
+        [
+            {"intensity": intensity, "seed": seed, "run_s": run_s, "retry": retry}
+            for intensity in intensities
+        ],
+        columns=["delivery_ratio", "billing_error", "report_timeouts"],
+        workers=workers,
+    )
+    return [
+        SweepPoint(
+            intensity=intensity,
+            retry=retry,
+            delivery_ratio=delivery_ratio,
+            billing_error=billing_error,
+            report_timeouts=report_timeouts,
         )
-        scenario = build(spec)
-        result = settle_and_measure(scenario, scenario.fault_plan, run_s, seed=seed)
-        points.append(
-            SweepPoint(
-                intensity=intensity,
-                retry=retry,
-                delivery_ratio=result.delivery_ratio,
-                billing_error=result.billing_error,
-                report_timeouts=sum(
-                    d.retry_stats.get("report_timeouts", 0)
-                    for d in result.devices.values()
-                ),
-            )
-        )
-    return points
+        for (intensity, _seed, _run_s, _retry,
+             delivery_ratio, billing_error, report_timeouts) in rows
+    ]

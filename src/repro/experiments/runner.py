@@ -155,15 +155,42 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
 }
 
 
-def run_all(names: list[str] | None = None) -> dict[str, str]:
-    """Run the requested experiments (all by default); returns texts."""
+def _run_by_name(name: str) -> str:
+    """Execute one registered experiment (module-level: ``run_all`` with
+    ``workers`` > 1 pickles this into worker processes)."""
+    return EXPERIMENTS[name]()
+
+
+def run_all(names: list[str] | None = None, workers: int = 1) -> dict[str, str]:
+    """Run the requested experiments (all by default); returns texts.
+
+    ``workers`` > 1 fans the experiments out over a process pool — each
+    experiment builds its own world from fixed seeds, so the rendered
+    outputs are identical for any worker count.  Output order follows
+    the request order either way.
+    """
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
     selected = list(EXPERIMENTS) if names is None else names
-    outputs: dict[str, str] = {}
     for name in selected:
-        runner = EXPERIMENTS.get(name)
-        if runner is None:
+        if name not in EXPERIMENTS:
             raise ExperimentError(
                 f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
             )
-        outputs[name] = runner()
+    if workers == 1 or len(selected) <= 1:
+        return {name: _run_by_name(name) for name in selected}
+    from concurrent.futures import ProcessPoolExecutor
+
+    outputs: dict[str, str] = {}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_by_name, name) for name in selected]
+        for name, future in zip(selected, futures):
+            try:
+                outputs[name] = future.result()
+            except ExperimentError:
+                raise
+            except BaseException as exc:
+                raise ExperimentError(
+                    f"experiment {name!r} failed in worker: {exc!r}"
+                ) from exc
     return outputs

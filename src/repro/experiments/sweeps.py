@@ -3,14 +3,22 @@
 A sweep maps a parameter grid over a run function and collects rows —
 the pattern every ablation repeats.  Kept tiny and explicit: a sweep is
 data (list of dicts) in, table (list of rows) out.
+
+Sweeps parallelise across processes with ``workers=N``.  Each point is
+an independent simulation constructed entirely from its parameters, so
+executing points in separate interpreters cannot change any result; the
+collector walks futures in submission order, which makes the output
+table byte-identical to a serial run for every worker count.
 """
 
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
+from repro.sim.rng import RngStreams
 
 RunFn = Callable[..., dict[str, Any]]
 
@@ -28,29 +36,86 @@ def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
+def seeded(
+    points: list[dict[str, Any]], master_seed: int, key: str = "seed"
+) -> list[dict[str, Any]]:
+    """Copy of ``points`` with a derived per-point seed added under ``key``.
+
+    Seeds come from :meth:`RngStreams.fork` keyed by point index, so a
+    multi-run sweep gets independent randomness per point while staying
+    a pure function of ``(master_seed, index)`` — the assignment cannot
+    depend on which worker executes the point or in what order.
+    """
+    streams = RngStreams(master_seed)
+    out = []
+    for index, point in enumerate(points):
+        if key in point:
+            raise ExperimentError(f"point {index} already has a {key!r} parameter")
+        forked = streams.fork(f"point:{index}")
+        out.append({**point, key: forked.master_seed})
+    return out
+
+
+def _collect_serial(run: RunFn, points: list[dict[str, Any]]) -> list[Any]:
+    return [run(**point) for point in points]
+
+
+def _collect_parallel(
+    run: RunFn, points: list[dict[str, Any]], workers: int
+) -> list[Any]:
+    # Futures are drained in submission order, never as-completed: the
+    # table must not depend on scheduling.  ``run`` has to be a
+    # module-level callable (pickled by qualified name into workers).
+    results: list[Any] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(run, **point) for point in points]
+        for point, future in zip(points, futures):
+            try:
+                results.append(future.result())
+            except ExperimentError:
+                raise
+            except BaseException as exc:
+                raise ExperimentError(
+                    f"sweep point {point!r} failed in worker: {exc!r}"
+                ) from exc
+    return results
+
+
 def sweep(
     run: RunFn,
     points: list[dict[str, Any]],
     columns: list[str] | None = None,
+    workers: int = 1,
 ) -> tuple[list[str], list[list[Any]]]:
     """Run ``run(**point)`` for every point; tabulate parameters+results.
 
     ``run`` returns a dict of result values; the output table has one
     row per point with parameter columns first, result columns after.
     ``columns`` restricts/orders the result columns (default: keys of
-    the first result, sorted).
+    the first result, sorted).  ``workers`` > 1 fans points out over a
+    process pool (``run`` must then be picklable, i.e. module-level);
+    results are collected in point order, so the table is identical for
+    any worker count.  A point whose run raises (or whose worker dies)
+    aborts the sweep with an :class:`ExperimentError` naming the point.
     """
     if not points:
         raise ExperimentError("sweep needs at least one point")
-    rows: list[list[Any]] = []
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
     param_names = list(points[0])
-    result_names: list[str] | None = list(columns) if columns else None
     for point in points:
         if list(point) != param_names:
             raise ExperimentError(
                 f"inconsistent sweep point keys: {list(point)} != {param_names}"
             )
-        result = run(**point)
+    if workers == 1:
+        results = _collect_serial(run, points)
+    else:
+        results = _collect_parallel(run, points, workers)
+
+    rows: list[list[Any]] = []
+    result_names: list[str] | None = list(columns) if columns else None
+    for point, result in zip(points, results):
         if not isinstance(result, dict):
             raise ExperimentError("run function must return a dict of results")
         if result_names is None:

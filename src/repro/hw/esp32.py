@@ -39,6 +39,13 @@ class McuState(enum.Enum):
     WIFI_TX = "wifi_tx"
 
 
+# Stable per-member position for list-indexed lookup tables: an enum's
+# __hash__ is a Python-level call, and the MCU's per-event state
+# bookkeeping was paying for it on every dict access.
+for _index, _state in enumerate(McuState):
+    _state.index = _index
+
+
 DEFAULT_STATE_CURRENT_MA: dict[McuState, float] = {
     McuState.DEEP_SLEEP: 0.01,
     McuState.LIGHT_SLEEP: 0.8,
@@ -74,7 +81,11 @@ class Esp32Mcu:
         self._state_current_ma = table
         self._state = McuState.IDLE
         self._state_entered_at = 0.0
-        self._time_in_state: dict[McuState, float] = {s: 0.0 for s in McuState}
+        # Hot-path mirrors indexed by McuState.index: set_state and
+        # current_ma run per transmit/receive, and enum-keyed dict
+        # lookups (a Python-level __hash__ per access) dominated them.
+        self._draw_by_index = [table[s] for s in McuState]
+        self._time_by_index = [0.0] * len(self._draw_by_index)
 
     @property
     def supply_voltage_v(self) -> float:
@@ -88,25 +99,26 @@ class Esp32Mcu:
 
     def current_ma(self) -> float:
         """Current draw in the present state."""
-        return self._state_current_ma[self._state]
+        return self._draw_by_index[self._state.index]
 
     def current_in_state_ma(self, state: McuState) -> float:
         """Current draw the MCU would have in ``state``."""
-        return self._state_current_ma[state]
+        return self._draw_by_index[state.index]
 
     def set_state(self, state: McuState, at_time: float) -> None:
         """Transition to ``state`` at simulated time ``at_time``."""
-        if at_time < self._state_entered_at:
+        entered_at = self._state_entered_at
+        if at_time < entered_at:
             raise HardwareError(
-                f"state change at {at_time} precedes last change at {self._state_entered_at}"
+                f"state change at {at_time} precedes last change at {entered_at}"
             )
-        self._time_in_state[self._state] += at_time - self._state_entered_at
+        self._time_by_index[self._state.index] += at_time - entered_at
         self._state = state
         self._state_entered_at = at_time
 
     def time_in_state(self, state: McuState, now: float) -> float:
         """Total seconds spent in ``state`` up to ``now``."""
-        total = self._time_in_state[state]
+        total = self._time_by_index[state.index]
         if state is self._state:
             total += max(0.0, now - self._state_entered_at)
         return total

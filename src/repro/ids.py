@@ -15,10 +15,18 @@ from __future__ import annotations
 import hashlib
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.errors import AddressError
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+@lru_cache(maxsize=None)
+def _uid_digest(kind: str, name: str) -> str:
+    """Stable 16-hex-digit hash of ``kind:name`` (cached — the protocol
+    hot path reads uids once per message)."""
+    return hashlib.sha256(f"{kind}:{name}".encode()).hexdigest()[:16]
 
 
 def _validate_name(name: str, kind: str) -> str:
@@ -42,11 +50,19 @@ class DeviceId:
 
     def __post_init__(self) -> None:
         _validate_name(self.name, "device")
+        # Same value the generated dataclass __hash__ would produce,
+        # computed once: device ids key half a dozen registry/series
+        # dicts per report, and rebuilding the field tuple on every
+        # lookup showed in fleet profiles.
+        object.__setattr__(self, "_hash", hash((self.name,)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def uid(self) -> str:
         """Stable 16-hex-digit identifier derived from the name."""
-        return hashlib.sha256(f"device:{self.name}".encode()).hexdigest()[:16]
+        return _uid_digest("device", self.name)
 
     def __str__(self) -> str:
         return self.name
@@ -64,7 +80,7 @@ class AggregatorId:
     @property
     def uid(self) -> str:
         """Stable 16-hex-digit identifier derived from the name."""
-        return hashlib.sha256(f"aggregator:{self.name}".encode()).hexdigest()[:16]
+        return _uid_digest("aggregator", self.name)
 
     def __str__(self) -> str:
         return self.name
@@ -91,8 +107,24 @@ class NetworkAddress:
         return f"{self.aggregator.name}/{self.host}"
 
 
+@lru_cache(maxsize=None)
+def interned_device_id(name: str) -> DeviceId:
+    """A shared :class:`DeviceId` for ``name``.
+
+    Identifiers are immutable value types, so the wire-decode hot path
+    reuses one instance per name instead of re-validating and
+    re-allocating on every message.
+    """
+    return DeviceId(name)
+
+
+@lru_cache(maxsize=None)
 def parse_address(text: str) -> NetworkAddress:
-    """Parse the ``"aggregator/host"`` string form of an address."""
+    """Parse the ``"aggregator/host"`` string form of an address.
+
+    Cached: addresses are immutable and the report path parses the same
+    master/temporary strings on every message.
+    """
     parts = text.split("/")
     if len(parts) != 2:
         raise AddressError(f"malformed address {text!r}, expected 'aggregator/host'")

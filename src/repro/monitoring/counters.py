@@ -55,7 +55,12 @@ class CounterBank:
 
     def total(self, prefix: str = "") -> int:
         """Sum of every counter matching ``prefix``."""
-        return sum(self.snapshot(prefix).values())
+        counts = self._counts
+        if not prefix:
+            return sum(counts.values())
+        return sum(
+            value for name, value in counts.items() if name.startswith(prefix)
+        )
 
     def record_into(self, bank: SeriesBank, time: float) -> None:
         """Append the current value of every counter to ``bank``.

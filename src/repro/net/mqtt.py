@@ -27,7 +27,14 @@ from repro.sim.process import Process
 
 # QoS and topic matching now live with the transport interfaces; they
 # are re-exported here because this module defined them historically.
-from repro.transport.base import DeviceLink, Endpoint, QoS, Subscriber, topic_matches
+from repro.transport.base import (
+    DeviceLink,
+    Endpoint,
+    QoS,
+    Subscriber,
+    compile_topic_filter,
+    topic_matches,
+)
 
 __all__ = ["MqttBroker", "MqttClient", "QoS", "Subscriber", "topic_matches"]
 
@@ -36,6 +43,9 @@ __all__ = ["MqttBroker", "MqttClient", "QoS", "Subscriber", "topic_matches"]
 class _Subscription:
     pattern: str
     callback: Subscriber
+    # Precompiled at subscribe time so the routing loop never re-splits
+    # the filter (one callable check per subscription per message).
+    matches: "Callable[[str], bool] | None" = None
 
 
 class MqttBroker(Process, Endpoint):
@@ -115,10 +125,11 @@ class MqttBroker(Process, Endpoint):
 
     def subscribe(self, pattern: str, callback: Subscriber) -> None:
         """Register ``callback`` for topics matching ``pattern``."""
-        # Validate the filter eagerly so a bad '#' placement fails here,
-        # not on first publish.
-        topic_matches(pattern, pattern.replace("+", "x").replace("#", "x"))
-        self._subscriptions.append(_Subscription(pattern, callback))
+        # Compiling validates eagerly too: a bad '#' placement fails
+        # here, not on first publish.
+        self._subscriptions.append(
+            _Subscription(pattern, callback, compile_topic_filter(pattern))
+        )
 
     def unsubscribe(self, pattern: str, callback: Subscriber) -> None:
         """Remove a previously registered subscription."""
@@ -162,7 +173,7 @@ class MqttBroker(Process, Endpoint):
                 return
             matched = False
             for sub in list(self._subscriptions):
-                if topic_matches(sub.pattern, topic):
+                if sub.matches(topic):
                     matched = True
                     sub.callback(topic, payload)
             if matched:

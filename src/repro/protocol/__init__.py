@@ -18,7 +18,7 @@ Sequences implemented (numbering follows Fig. 3):
    master is told to remove the device.
 """
 
-from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.codec import as_message, decode_message, encode_message
 from repro.protocol.device_fsm import DeviceFsm, DevicePhase
 from repro.protocol.messages import (
     Ack,
@@ -35,6 +35,7 @@ from repro.protocol.messages import (
 )
 
 __all__ = [
+    "as_message",
     "decode_message",
     "encode_message",
     "DeviceFsm",

@@ -3,6 +3,10 @@
 Messages travel over MQTT as UTF-8 JSON.  The codec is the single place
 that turns dataclasses into bytes and back; it also reports the encoded
 size, which the channel model uses for airtime.
+
+In-process backends (the direct transport, the backhaul mesh) skip the
+wire entirely and hand the frozen dataclasses through verbatim —
+:func:`as_message` lets receive handlers accept either form.
 """
 
 from __future__ import annotations
@@ -13,11 +17,15 @@ from typing import Any
 from repro.errors import CodecError, ProtocolError
 from repro.protocol.messages import Message, message_from_dict
 
+# json.dumps builds a fresh JSONEncoder on every call that passes
+# non-default options; the wire format is fixed, so build it once.
+_WIRE_ENCODER = json.JSONEncoder(sort_keys=True)
+
 
 def encode_message(message: Message) -> bytes:
     """Serialise a message dataclass to wire bytes."""
     try:
-        return json.dumps(message.to_dict(), sort_keys=True).encode("utf-8")
+        return _WIRE_ENCODER.encode(message.to_dict()).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise CodecError(f"cannot encode {type(message).__name__}: {exc}") from exc
 
@@ -36,6 +44,19 @@ def decode_message(payload: bytes) -> Message:
         raise
     except (KeyError, ValueError, ProtocolError) as exc:
         raise CodecError(f"message payload missing/invalid fields: {exc}") from exc
+
+
+def as_message(payload: Any) -> Message:
+    """The message carried by ``payload``, whatever its wire form.
+
+    Radio backends deliver encoded bytes (decoded here); in-process
+    backends deliver the frozen message dataclass itself, which passes
+    through untouched.  Receive handlers should type-check the result as
+    they would a decoded message.
+    """
+    if isinstance(payload, (bytes, bytearray)):
+        return decode_message(bytes(payload))
+    return payload
 
 
 def encoded_size(message: Message) -> int:

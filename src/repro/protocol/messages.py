@@ -14,7 +14,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ProtocolError
-from repro.ids import AggregatorId, DeviceId, NetworkAddress, parse_address
+from repro.ids import (
+    AggregatorId,
+    DeviceId,
+    NetworkAddress,
+    interned_device_id,
+    parse_address,
+)
 
 
 class NackReason(enum.Enum):
@@ -357,7 +363,7 @@ def _opt_address(text: str | None) -> NetworkAddress | None:
 def message_from_dict(data: dict[str, Any]) -> Message:
     """Rebuild a message dataclass from its ``to_dict`` form."""
     kind = data.get("type")
-    device = DeviceId(data["device"]) if "device" in data else None
+    device = interned_device_id(data["device"]) if "device" in data else None
     if kind == "registration_request":
         return RegistrationRequest(device, _opt_address(data.get("master")))
     if kind == "registration_response":

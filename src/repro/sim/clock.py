@@ -11,17 +11,20 @@ from repro.errors import SimulationError
 
 
 class SimClock:
-    """Monotonic simulated clock owned by the kernel."""
+    """Monotonic simulated clock owned by the kernel.
+
+    ``now`` is a plain attribute (it is read on every event, every
+    trace record and every schedule call — a property's descriptor
+    dispatch is measurable at fleet scale).  Only the kernel may write
+    it, and only through :meth:`advance_to`.
+    """
+
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise SimulationError(f"clock cannot start before zero, got {start}")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to ``timestamp``.
@@ -30,11 +33,11 @@ class SimClock:
         backwards is a kernel bug and raises immediately rather than
         silently corrupting causality.
         """
-        if timestamp < self._now:
+        if timestamp < self.now:
             raise SimulationError(
-                f"clock moved backwards: {self._now} -> {timestamp}"
+                f"clock moved backwards: {self.now} -> {timestamp}"
             )
-        self._now = float(timestamp)
+        self.now = float(timestamp)
 
     def __repr__(self) -> str:
-        return f"SimClock(now={self._now:.6f})"
+        return f"SimClock(now={self.now:.6f})"

@@ -4,21 +4,26 @@ Events order by ``(time, priority, sequence)``.  ``sequence`` is a global
 insertion counter, so events scheduled for the same instant at the same
 priority fire in the order they were scheduled — this is what makes runs
 reproducible.
+
+The heap stores plain ``(time, priority, sequence, event)`` tuples
+rather than rich objects: sequence numbers are unique, so every sift
+resolves on the first three scalar fields with C tuple comparison and
+the :class:`Event` handle itself is never compared.  The handle is a
+``__slots__`` class, keeping per-event memory to the six fields the
+kernel actually needs.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import SchedulingError
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """A scheduled callback handle.
 
     Attributes:
         time: Simulated time at which the callback fires.
@@ -29,12 +34,23 @@ class Event:
         cancelled: Cancelled events are skipped when popped.
     """
 
-    time: float
-    priority: int
-    sequence: int
-    callback: Callable[[], Any] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "priority", "sequence", "callback", "label", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        sequence: int,
+        callback: Callable[[], Any],
+        label: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it.
@@ -43,12 +59,25 @@ class Event:
         """
         self.cancelled = True
 
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time}, priority={self.priority}, "
+            f"sequence={self.sequence}, label={self.label!r}, "
+            f"cancelled={self.cancelled})"
+        )
+
 
 class EventQueue:
-    """Priority queue of :class:`Event` with deterministic tie-breaking."""
+    """Priority queue of :class:`Event` with deterministic tie-breaking.
+
+    The kernel's run loop reaches into :attr:`_heap` directly (same
+    package, hot path); every entry is ``(time, priority, sequence,
+    event)`` and the first three fields reproduce exactly the ordering
+    the original rich-comparison implementation had.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -67,14 +96,10 @@ class EventQueue:
         """Schedule ``callback`` at ``time`` and return its handle."""
         if not callable(callback):
             raise SchedulingError(f"callback must be callable, got {callback!r}")
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        time = float(time)  # the kernel assigns event times to the clock verbatim
+        sequence = next(self._counter)
+        event = Event(time, priority, sequence, callback, label)
+        heapq.heappush(self._heap, (time, priority, sequence, event))
         return event
 
     def peek_time(self) -> float | None:
@@ -83,16 +108,18 @@ class EventQueue:
         Skips over cancelled events lazily so the answer is always the
         time of an event that will actually run.
         """
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or None when empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if not event.cancelled:
                 return event
         return None

@@ -11,6 +11,7 @@ harness drives the loop with :meth:`Simulator.run_until` or
 from __future__ import annotations
 
 import math
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SchedulingError, SimulationError
@@ -144,14 +145,30 @@ class Simulator:
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        """Schedule ``callback`` at absolute time ``at``."""
+        """Schedule ``callback`` at absolute time ``at``.
+
+        Inlines the queue push: this runs once per scheduled event, and
+        the single chained comparison rejects every invalid time at once
+        (NaN fails both bounds, the past fails the left one, ``±inf``
+        each fail one side).
+        """
+        if not (self.clock.now <= at < math.inf):
+            self._reject_time(at)
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        at = float(at)  # the run loop assigns event times to clock.now verbatim
+        queue = self.queue
+        sequence = next(queue._counter)
+        event = Event(at, priority, sequence, callback, label)
+        heappush(queue._heap, (at, priority, sequence, event))
+        return event
+
+    def _reject_time(self, at: float) -> None:
         if math.isnan(at) or math.isinf(at):
             raise SchedulingError(f"event time must be finite, got {at}")
-        if at < self.clock.now:
-            raise SchedulingError(
-                f"cannot schedule at {at} before current time {self.clock.now}"
-            )
-        return self.queue.push(at, callback, priority=priority, label=label)
+        raise SchedulingError(
+            f"cannot schedule at {at} before current time {self.clock.now}"
+        )
 
     def call_later(
         self,
@@ -160,10 +177,26 @@ class Simulator:
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        """Schedule ``callback`` at ``now + delay``."""
+        """Schedule ``callback`` at ``now + delay``.
+
+        Duplicates :meth:`schedule`'s inline push: this is the single
+        most-called scheduling entry point, and the extra frame showed
+        up in fleet profiles.  ``delay >= 0`` already guarantees the
+        not-in-the-past invariant, so only the finiteness check remains
+        (``now + inf`` and ``now + nan`` both fail ``at < inf``).
+        """
         if delay < 0:
             raise SchedulingError(f"delay must be non-negative, got {delay}")
-        return self.schedule(self.clock.now + delay, callback, priority=priority, label=label)
+        at = self.clock.now + delay
+        if not (at < math.inf):
+            self._reject_time(at)
+        if not callable(callback):
+            raise SchedulingError(f"callback must be callable, got {callback!r}")
+        queue = self.queue
+        sequence = next(queue._counter)
+        event = Event(at, priority, sequence, callback, label)
+        heappush(queue._heap, (at, priority, sequence, event))
+        return event
 
     def every(
         self,
@@ -195,6 +228,68 @@ class Simulator:
         event.callback()
         return True
 
+    def _execute(self, end_time: float, max_events: int | None, guard: str) -> None:
+        """The hot loop shared by :meth:`run_until` and :meth:`run`.
+
+        One heap scan per event: the loop inspects the head entry once,
+        pops it, and dispatches — there is no separate peek-then-pop
+        pass.  Same-instant events batch through consecutive iterations
+        without touching the clock (``advance_to`` runs only when the
+        head's time actually moves), and the head is re-read after every
+        callback, so an event scheduled *during* the batch at the same
+        instant but a lower priority still fires in exact
+        ``(time, priority, sequence)`` order — the order is bit-identical
+        to the pre-tuple-heap kernel.
+        """
+        heap = self.queue._heap
+        clock = self.clock
+        now = clock.now
+        executed = 0
+        try:
+            if max_events is None:
+                # Unguarded loop: no bound bookkeeping per event.
+                while heap:
+                    entry = heap[0]
+                    event = entry[3]
+                    if event.cancelled:
+                        heappop(heap)
+                        continue
+                    time = entry[0]
+                    if time > end_time:
+                        break
+                    heappop(heap)
+                    if time != now:
+                        # Direct write: heap pop order is nondecreasing
+                        # in time, so the monotonicity check advance_to()
+                        # does is already guaranteed here.
+                        clock.now = now = time
+                    executed += 1
+                    event.callback()
+                return
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if time > end_time:
+                    break
+                heappop(heap)
+                if time != now:
+                    clock.now = now = time
+                executed += 1
+                event.callback()
+                if executed >= max_events:
+                    raise SimulationError(
+                        f"{guard} exceeded max_events={max_events}; "
+                        "suspected runaway event loop"
+                    )
+        finally:
+            # Flushed once per run, not once per event; every reader
+            # samples the counter between runs.
+            self._events_executed += executed
+
     def run_until(self, end_time: float, max_events: int | None = None) -> None:
         """Run events with time <= ``end_time``; clock lands on ``end_time``.
 
@@ -208,18 +303,7 @@ class Simulator:
             raise SimulationError("run loop re-entered; simulator is not reentrant")
         self._running = True
         try:
-            executed = 0
-            while True:
-                next_time = self.queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                self.step()
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    raise SimulationError(
-                        f"run_until exceeded max_events={max_events}; "
-                        "suspected runaway event loop"
-                    )
+            self._execute(end_time, max_events, "run_until")
             self.clock.advance_to(end_time)
         finally:
             self._running = False
@@ -230,13 +314,6 @@ class Simulator:
             raise SimulationError("run loop re-entered; simulator is not reentrant")
         self._running = True
         try:
-            executed = 0
-            while self.step():
-                executed += 1
-                if executed >= max_events:
-                    raise SimulationError(
-                        f"run exceeded max_events={max_events}; "
-                        "suspected runaway event loop"
-                    )
+            self._execute(math.inf, max_events, "run")
         finally:
             self._running = False

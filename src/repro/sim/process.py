@@ -37,6 +37,15 @@ class Process:
         self._context = coerce_context(runtime)
         self._sim = self._context.simulator
         self._name = name
+        # Hot-path caches: the per-event report path must do zero string
+        # formatting, so stream handles and fully-qualified counter
+        # names are resolved once per (actor, purpose) pair.
+        self._rng_cache: dict[str, np.random.Generator] = {}
+        self._counter_names: dict[str, str] = {}
+        self._increment = self._context.counters.increment
+        self._counts = self._context.counters._counts
+        self._trace_record = self._sim.trace.record
+        self._clock = self._sim.clock
 
     @property
     def sim(self) -> Simulator:
@@ -61,11 +70,20 @@ class Process:
     @property
     def now(self) -> float:
         """Current simulated time."""
-        return self._sim.now
+        return self._clock.now
 
     def rng(self, purpose: str = "default") -> np.random.Generator:
-        """Random stream private to this actor and ``purpose``."""
-        return self._sim.rng.stream(f"{self._name}:{purpose}")
+        """Random stream private to this actor and ``purpose``.
+
+        The generator is the same object :meth:`RngStreams.stream` would
+        hand out for ``"{name}:{purpose}"``; it is cached on the actor so
+        repeated draws skip the key formatting and registry lookup.
+        """
+        generator = self._rng_cache.get(purpose)
+        if generator is None:
+            generator = self._sim.rng.stream(f"{self._name}:{purpose}")
+            self._rng_cache[purpose] = generator
+        return generator
 
     def count(self, metric: str, by: int = 1) -> int:
         """Increment this actor's ``metric`` in the shared counter bank.
@@ -73,13 +91,24 @@ class Process:
         Counters are namespaced by actor name (``device1.report_timeouts``,
         ``backhaul.messages_dropped``) so one
         :meth:`~repro.monitoring.counters.CounterBank.snapshot` shows the
-        whole world.
+        whole world.  The qualified name is formatted once per metric and
+        cached.
         """
-        return self._context.counters.increment(f"{self._name}.{metric}", by)
+        name = self._counter_names.get(metric)
+        if name is None:
+            name = f"{self._name}.{metric}"
+            self._counter_names[metric] = name
+        if by < 0:
+            # Monotonicity violation: let the bank raise its error.
+            return self._increment(name, by)
+        counts = self._counts
+        value = counts.get(name, 0) + by
+        counts[name] = value
+        return value
 
     def trace(self, category: str, **detail: Any) -> None:
         """Emit a trace record attributed to this actor."""
-        self._sim.trace.record(self.now, category, self._name, **detail)
+        self._trace_record(self._clock.now, category, self._name, **detail)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self._name!r})"

@@ -8,6 +8,7 @@ disabled wholesale, or filtered by category.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
 
@@ -29,13 +30,29 @@ class TraceRecord:
     detail: dict[str, Any] = field(default_factory=dict)
 
 
+def _record_time(record: "TraceRecord") -> float:
+    return record.time
+
+
+def _discard_record(time: float, category: str, actor: str, **detail: Any) -> None:
+    """The disabled recorder's ``record``: a true no-op."""
+
+
 class TraceRecorder:
-    """Appends :class:`TraceRecord` entries and answers queries over them."""
+    """Appends :class:`TraceRecord` entries and answers queries over them.
+
+    A recorder constructed with ``enabled=False`` swaps :meth:`record`
+    for a module-level no-op on the instance, so hot paths that cache
+    the bound method (:class:`~repro.sim.process.Process` does) pay a
+    plain function call and nothing else per suppressed record.
+    """
 
     def __init__(self, enabled: bool = True, categories: Iterable[str] | None = None) -> None:
         self._enabled = enabled
         self._categories = set(categories) if categories is not None else None
         self._records: list[TraceRecord] = []
+        if not enabled:
+            self.record = _discard_record  # type: ignore[method-assign]
 
     @property
     def enabled(self) -> bool:
@@ -44,8 +61,6 @@ class TraceRecorder:
 
     def record(self, time: float, category: str, actor: str, **detail: Any) -> None:
         """Capture one record if tracing is on and the category is kept."""
-        if not self._enabled:
-            return
         if self._categories is not None and category not in self._categories:
             return
         self._records.append(TraceRecord(time, category, actor, detail))
@@ -65,8 +80,16 @@ class TraceRecorder:
         return [r for r in self._records if r.actor == actor]
 
     def between(self, start: float, end: float) -> list[TraceRecord]:
-        """Records with ``start <= time < end``."""
-        return [r for r in self._records if start <= r.time < end]
+        """Records with ``start <= time < end``.
+
+        Records are appended in non-decreasing simulated time (the
+        kernel never runs backwards), so both boundaries resolve by
+        bisection instead of a full scan.
+        """
+        records = self._records
+        lo = bisect_left(records, start, key=_record_time)
+        hi = bisect_left(records, end, lo=lo, key=_record_time)
+        return records[lo:hi]
 
     def first(self, category: str) -> TraceRecord | None:
         """Earliest record of ``category``, or None."""

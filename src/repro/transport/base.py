@@ -64,6 +64,47 @@ def topic_matches(pattern: str, topic: str) -> bool:
     return len(pattern_parts) == len(topic_parts)
 
 
+def compile_topic_filter(pattern: str) -> Callable[[str], bool]:
+    """Precompile ``pattern`` into a ``topic -> bool`` matcher.
+
+    Splits and validates the filter once at subscribe time instead of on
+    every routed message; the returned matcher gives exactly
+    ``topic_matches(pattern, topic)`` answers.  Raises
+    :class:`~repro.errors.NetworkError` for a non-terminal ``#`` — the
+    same eager-validation contract brokers apply on subscribe.
+    """
+    parts = pattern.split("/")
+    if "#" in parts:
+        if parts.index("#") != len(parts) - 1:
+            raise NetworkError(f"'#' must be the last level in filter {pattern!r}")
+        prefix = tuple(parts[:-1])
+
+        def match_hash(topic: str, _prefix: tuple[str, ...] = prefix) -> bool:
+            topic_parts = topic.split("/")
+            if len(topic_parts) < len(_prefix):
+                return False
+            for want, got in zip(_prefix, topic_parts):
+                if want != "+" and want != got:
+                    return False
+            return True
+
+        return match_hash
+    if "+" not in parts:
+        return pattern.__eq__
+    levels = tuple(parts)
+
+    def match_plus(topic: str, _levels: tuple[str, ...] = levels) -> bool:
+        topic_parts = topic.split("/")
+        if len(topic_parts) != len(_levels):
+            return False
+        for want, got in zip(_levels, topic_parts):
+            if want != "+" and want != got:
+                return False
+        return True
+
+    return match_plus
+
+
 class Endpoint(abc.ABC):
     """The aggregator-hosted message hub of one network.
 
@@ -74,6 +115,13 @@ class Endpoint(abc.ABC):
     *scheduled* (never synchronous), a downed endpoint drops everything,
     and an installed fault injector rules on each routed message.
     """
+
+    #: Whether this endpoint carries encoded wire bytes.  In-process
+    #: backends set this False and payloads pass through as the frozen
+    #: message dataclasses themselves — senders consult the flag to skip
+    #: the codec, receivers accept either form via
+    #: :func:`repro.protocol.codec.as_message`.
+    wire_bytes: bool = True
 
     @property
     @abc.abstractmethod
@@ -127,6 +175,11 @@ class DeviceLink(abc.ABC):
     while disconnected raises :class:`~repro.errors.NetworkError` so the
     device data layer buffers instead of transmitting blind.
     """
+
+    #: Mirror of :attr:`Endpoint.wire_bytes` for the device side: when
+    #: False the link's endpoint takes message dataclasses verbatim and
+    #: publishers skip the codec.
+    wire_bytes: bool = True
 
     @property
     @abc.abstractmethod

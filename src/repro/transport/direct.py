@@ -35,7 +35,7 @@ from repro.transport.base import (
     RadioModel,
     Subscriber,
     Transport,
-    topic_matches,
+    compile_topic_filter,
 )
 
 if TYPE_CHECKING:
@@ -55,6 +55,10 @@ class DirectHub(Process, Endpoint):
         connect_s: Fixed client connect latency.
     """
 
+    #: In-process router: payloads pass through by reference, protocol
+    #: code skips the JSON wire codec entirely.
+    wire_bytes = False
+
     def __init__(
         self,
         runtime: "Simulator | SimContext",
@@ -66,10 +70,17 @@ class DirectHub(Process, Endpoint):
             raise NetworkError(f"connect latency must be positive, got {connect_s}")
         self._connect_s = connect_s
         self._exact: dict[str, list[Subscriber]] = {}
-        self._wildcards: list[tuple[str, Subscriber]] = []
+        # (pattern, callback, compiled matcher) — compiled once at
+        # subscribe time so draining never re-splits the filter.
+        self._wildcards: list[tuple[str, Subscriber, Callable[[str], bool]]] = []
+        # topic -> resolved subscriber tuple, filled lazily on first
+        # routing of each topic and cleared whenever the subscription
+        # table changes — routing a hot topic is then one dict lookup.
+        self._route_cache: dict[str, tuple[Subscriber, ...]] = {}
         # Batches keyed by absolute due time: every message scheduled
         # for the same instant rides one kernel event.
         self._batches: dict[float, list[tuple[str, Any]]] = {}
+        self._drain_label = f"direct-drain:{name}"
         self._messages_routed = 0
         self._messages_dropped = 0
         self._down = False
@@ -105,34 +116,50 @@ class DirectHub(Process, Endpoint):
 
     def subscribe(self, pattern: str, callback: Subscriber) -> None:
         """Register ``callback`` for topics matching ``pattern``."""
-        # Validate the filter eagerly so a bad '#' placement fails here,
-        # not on first publish (same contract as the MQTT broker).
-        topic_matches(pattern, pattern.replace("+", "x").replace("#", "x"))
+        # Compiling validates the filter eagerly so a bad '#' placement
+        # fails here, not on first publish (same contract as the MQTT
+        # broker).
+        matcher = compile_topic_filter(pattern)
         if "+" in pattern or "#" in pattern:
-            self._wildcards.append((pattern, callback))
+            self._wildcards.append((pattern, callback, matcher))
         else:
             self._exact.setdefault(pattern, []).append(callback)
+        self._route_cache.clear()
 
     def unsubscribe(self, pattern: str, callback: Subscriber) -> None:
         """Remove a previously registered subscription."""
         if "+" in pattern or "#" in pattern:
-            entry = (pattern, callback)
-            if entry not in self._wildcards:
-                raise NetworkError(f"no subscription {pattern!r} to remove")
-            self._wildcards.remove(entry)
-            return
+            for i, (sub_pattern, sub_callback, _) in enumerate(self._wildcards):
+                if sub_pattern == pattern and sub_callback == callback:
+                    del self._wildcards[i]
+                    self._route_cache.clear()
+                    return
+            raise NetworkError(f"no subscription {pattern!r} to remove")
         callbacks = self._exact.get(pattern, [])
         if callback not in callbacks:
             raise NetworkError(f"no subscription {pattern!r} to remove")
         callbacks.remove(callback)
         if not callbacks:
             del self._exact[pattern]
+        self._route_cache.clear()
 
     def deliver(self, topic: str, payload: Any, after_s: float = 0.0) -> None:
         """Route ``payload`` to matching subscribers after a delay."""
         if self._down:
             self._messages_dropped += 1
             self.trace("direct.drop_down", topic=topic)
+            return
+        if self._injector is None:
+            # No fault injector: enqueue directly (the _enqueue body,
+            # inlined for the per-message fleet hot path).
+            due = self._clock.now + after_s
+            batch = self._batches.get(due)
+            if batch is None:
+                self._batches[due] = batch = []
+                self.sim.call_later(
+                    after_s, lambda: self._drain(due), label=self._drain_label
+                )
+            batch.append((topic, payload))
             return
         delay = after_s
         copies = 1
@@ -153,12 +180,12 @@ class DirectHub(Process, Endpoint):
     def _enqueue(self, topic: str, payload: Any, delay: float) -> None:
         # Same kernel step + same delay => bitwise-identical due time, so
         # a burst of simultaneous reports shares one scheduled event.
-        due = self.sim.now + delay
+        due = self._clock.now + delay
         batch = self._batches.get(due)
         if batch is None:
             self._batches[due] = batch = []
             self.sim.call_later(
-                delay, lambda: self._drain(due), label=f"direct-drain:{self.name}"
+                delay, lambda: self._drain(due), label=self._drain_label
             )
         batch.append((topic, payload))
 
@@ -169,15 +196,27 @@ class DirectHub(Process, Endpoint):
             for topic, _ in batch:
                 self.trace("direct.drop_down", topic=topic)
             return
+        cache = self._route_cache
+        routed = 0
         for topic, payload in batch:
-            targets = list(self._exact.get(topic, ()))
-            for pattern, callback in self._wildcards:
-                if topic_matches(pattern, topic):
-                    targets.append(callback)
+            targets = cache.get(topic)
+            if targets is None:
+                # First routing of this topic since the subscription
+                # table last changed: resolve exact + wildcard matches
+                # once, then route by dict lookup.  A mid-drain
+                # (un)subscribe clears the cache, so later messages in
+                # the batch re-resolve against the updated table.
+                callbacks = self._exact.get(topic)
+                merged = list(callbacks) if callbacks else []
+                for _pattern, callback, matcher in self._wildcards:
+                    if matcher(topic):
+                        merged.append(callback)
+                targets = cache[topic] = tuple(merged)
             if targets:
-                self._messages_routed += 1
-            for callback in targets:
-                callback(topic, payload)
+                routed += 1
+                for callback in targets:
+                    callback(topic, payload)
+        self._messages_routed += routed
 
 
 class DirectLink(Process, DeviceLink):
@@ -196,6 +235,9 @@ class DirectLink(Process, DeviceLink):
         max_retries: QoS 1 retransmission budget.
         retry_backoff_s: Delay before a QoS 1 retransmission.
     """
+
+    #: The hub takes message dataclasses verbatim (see DirectHub).
+    wire_bytes = False
 
     def __init__(
         self,
@@ -279,8 +321,19 @@ class DirectLink(Process, DeviceLink):
         """Publish one message; True when handed to the endpoint."""
         if self._endpoint is None:
             raise NetworkError(f"link {self.name} is not connected")
+        transport = self._transport
+        if (
+            self._injector is None
+            and transport._injector is None
+            and transport.loss_p == 0.0
+        ):
+            # Nothing can lose the attempt: skip the loss machinery
+            # entirely (the common zero-loss fleet configuration).
+            self._endpoint.deliver(topic, payload, after_s=transport.latency_s)
+            self.count("published")
+            return True
         attempts = 1 + (self._max_retries if qos == QoS.AT_LEAST_ONCE else 0)
-        latency = self._transport.latency_s
+        latency = transport.latency_s
         delay = 0.0
         for attempt in range(attempts):
             delay += latency

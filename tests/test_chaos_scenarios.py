@@ -197,3 +197,22 @@ class TestDeterminism:
             return scenario.chain.total_energy_mwh()
 
         assert run(1) != run(2)
+
+
+class TestFaultSweepWorkers:
+    def test_parallel_sweep_matches_serial(self):
+        # The acceptance property of the parallel executor: any worker
+        # count produces byte-identical results (each point is a pure
+        # function of its parameters, collected in point order).
+        from repro.experiments.faults import run_fault_sweep
+
+        intensities = [0.0, 0.15]
+        serial = run_fault_sweep(intensities, seed=3, run_s=8.0)
+        parallel = run_fault_sweep(intensities, seed=3, run_s=8.0, workers=2)
+        assert parallel == serial
+        assert [p.intensity for p in parallel] == intensities
+
+    def test_empty_sweep_is_empty(self):
+        from repro.experiments.faults import run_fault_sweep
+
+        assert run_fault_sweep([]) == []

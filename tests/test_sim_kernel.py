@@ -280,6 +280,88 @@ class TestPeriodicTask:
         sim.run_until(3.0)
         assert ticks == []
 
+    def test_reschedule_outside_firing_rearms_from_now(self):
+        # Regression guard: a reschedule while an event is pending (not
+        # during _fire) must cancel the pending event and re-arm at
+        # now + interval — even when the new interval is *longer*, the
+        # old firing time is discarded.
+        sim = Simulator()
+        ticks = []
+        task = sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.schedule(1.0, lambda: task.reschedule(5.0))
+        sim.run_until(10.0)
+        # Pending firing at 2.0 was discarded; re-armed at 1.0 + 5.0.
+        assert ticks == [6.0]
+
+
+class TestSameInstantBatch:
+    """Same-instant events run through one clock write in strict
+    (time, priority, sequence) order — including events scheduled or
+    cancelled *during* the batch."""
+
+    def test_priority_then_fifo_within_instant(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("p5-first"), priority=5)
+        sim.schedule(1.0, lambda: order.append("p0"), priority=0)
+        sim.schedule(1.0, lambda: order.append("p5-second"), priority=5)
+        sim.run_until(1.0)
+        assert order == ["p0", "p5-first", "p5-second"]
+
+    def test_event_scheduled_during_batch_joins_it_in_order(self):
+        # A callback schedules another event at the *same* instant with
+        # a lower priority number than an already-queued peer: it must
+        # preempt that peer, exactly as if it had been queued up front.
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("injected"), priority=1)
+
+        sim.schedule(1.0, first, priority=0)
+        sim.schedule(1.0, lambda: order.append("late"), priority=5)
+        sim.run_until(1.0)
+        assert order == ["first", "injected", "late"]
+
+    def test_cancel_during_batch_is_honoured(self):
+        sim = Simulator()
+        order = []
+        victim = sim.schedule(1.0, lambda: order.append("victim"), priority=5)
+        sim.schedule(1.0, lambda: victim.cancel(), priority=0)
+        sim.schedule(1.0, lambda: order.append("survivor"), priority=9)
+        sim.run_until(2.0)
+        assert order == ["survivor"]
+
+    def test_clock_is_stable_across_the_batch(self):
+        sim = Simulator()
+        seen = []
+        for _ in range(5):
+            sim.schedule(1.0, lambda: seen.append(sim.now))
+        sim.run_until(3.0)
+        assert seen == [1.0] * 5
+        assert sim.now == 3.0
+
+    def test_int_event_times_become_floats_on_the_clock(self):
+        # The run loop assigns event times to the clock verbatim, so
+        # schedule() must normalise int times (1 vs 1.0 would leak into
+        # trace reprs and determinism digests).
+        sim = Simulator()
+        seen = []
+        sim.schedule(1, lambda: seen.append(sim.now))
+        sim.run_until(2.0)
+        assert isinstance(seen[0], float)
+
+    def test_events_executed_counts_whole_batch(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(1.0)
+        assert sim.events_executed == 7
+        sim.schedule(2.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_executed == 8
+
 
 class TestDeterminism:
     def test_identical_runs_identical_traces(self):

@@ -3,7 +3,21 @@
 import pytest
 
 from repro.errors import ExperimentError
-from repro.experiments.sweeps import grid, sweep
+from repro.experiments.sweeps import grid, seeded, sweep
+
+
+def _square_point(x, seed):
+    """Module-level so worker processes can unpickle it."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    return {"square": x * x, "draw": float(rng.random())}
+
+
+def _crashing_point(x):
+    if x == 2:
+        raise RuntimeError("worker blew up")
+    return {"ok": x}
 
 
 class TestGrid:
@@ -49,3 +63,47 @@ class TestSweep:
             sweep(lambda **kw: {"y": 1}, [{"a": 1}, {"b": 2}])
         with pytest.raises(ExperimentError):
             sweep(lambda x: x, grid(x=[1]))  # not a dict
+        with pytest.raises(ExperimentError):
+            sweep(lambda x: {"y": x}, grid(x=[1]), workers=0)
+
+
+class TestParallelSweep:
+    def test_any_worker_count_matches_serial(self):
+        points = seeded(grid(x=[1, 2, 3, 4, 5]), master_seed=9)
+        serial = sweep(_square_point, points, workers=1)
+        for workers in (2, 4):
+            assert sweep(_square_point, points, workers=workers) == serial
+
+    def test_worker_failure_names_the_point(self):
+        points = grid(x=[1, 2, 3])
+        with pytest.raises(ExperimentError, match=r"'x': 2"):
+            sweep(_crashing_point, points, workers=2)
+
+    def test_result_order_follows_point_order(self):
+        points = grid(x=[5, 1, 3])
+        _, rows = sweep(_square_point, seeded(points, master_seed=0), workers=3)
+        assert [row[0] for row in rows] == [5, 1, 3]
+
+
+class TestSeeded:
+    def test_deterministic_and_index_keyed(self):
+        points = grid(a=[10, 20])
+        first = seeded(points, master_seed=5)
+        second = seeded(points, master_seed=5)
+        assert first == second
+        assert all("seed" in p for p in first)
+        # Seeds depend on the index, not the point's content.
+        assert first[0]["seed"] != first[1]["seed"]
+
+    def test_master_seed_changes_assignment(self):
+        points = grid(a=[1])
+        assert seeded(points, 1)[0]["seed"] != seeded(points, 2)[0]["seed"]
+
+    def test_existing_key_rejected(self):
+        with pytest.raises(ExperimentError):
+            seeded([{"seed": 3}], master_seed=0)
+
+    def test_originals_untouched(self):
+        points = grid(a=[1])
+        seeded(points, master_seed=0)
+        assert points == [{"a": 1}]
