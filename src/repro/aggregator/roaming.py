@@ -18,6 +18,7 @@ from typing import Callable
 from repro.errors import ProtocolError
 from repro.faults.retry import RetryPolicy, RetryTimer
 from repro.ids import AggregatorId, DeviceId
+from repro.obs.spans import DISABLED_TRACER, Span, SpanTracer
 from repro.protocol.messages import (
     ConsumptionReport,
     ForwardedConsumption,
@@ -39,6 +40,7 @@ class RoamingStats:
     verify_retries: int = 0
     verify_timeouts: int = 0
     verify_responses_late: int = 0
+    expired_evictions: int = 0
     reports_forwarded: int = 0
     forwarded_received: int = 0
 
@@ -49,6 +51,7 @@ class _PendingVerify:
 
     callback: VerifyCallback
     timer: RetryTimer | None = None
+    span: Span | None = None
 
 
 class RoamingLiaison:
@@ -61,6 +64,11 @@ class RoamingLiaison:
         retry: Verify-request retry/timeout policy.  ``None`` disables
             expiry (a master that never answers then leaks the pending
             entry — legacy behaviour, kept only for isolated tests).
+        expired_cap: Maximum devices remembered as "verify expired,
+            verdict may still arrive".  Oldest entries are evicted FIFO
+            beyond the cap (counted in ``stats.expired_evictions``), so
+            long chaos runs with partitioned masters cannot leak one
+            entry per device forever.
     """
 
     def __init__(
@@ -68,12 +76,20 @@ class RoamingLiaison:
         aggregator_id: AggregatorId,
         mesh: Mesh,
         retry: RetryPolicy | None = None,
+        expired_cap: int = 512,
     ) -> None:
         self._aggregator_id = aggregator_id
         self._mesh = mesh
         self._retry = retry
         self._pending_verifies: dict[DeviceId, _PendingVerify] = {}
-        self._expired_verifies: set[DeviceId] = set()
+        # Insertion-ordered so the FIFO eviction below is O(1); values
+        # are unused (this is an ordered set).
+        self._expired_verifies: dict[DeviceId, None] = {}
+        self._expired_cap = max(1, expired_cap)
+        sim = getattr(mesh, "sim", None)
+        self._spans: SpanTracer = (
+            getattr(sim, "spans", DISABLED_TRACER) if sim is not None else DISABLED_TRACER
+        )
         self.stats = RoamingStats()
 
     @property
@@ -93,6 +109,7 @@ class RoamingLiaison:
         device_id: DeviceId,
         claimed_master: AggregatorId,
         on_verdict: VerifyCallback,
+        parent_span: Span | None = None,
     ) -> None:
         """Ask ``claimed_master`` to vouch for ``device_id``.
 
@@ -100,6 +117,9 @@ class RoamingLiaison:
         exponential backoff; once the attempt budget is spent the
         pending entry expires with a synthesized negative verdict (the
         registration fails closed) instead of leaking forever.
+
+        ``parent_span`` nests the verify conversation under the
+        registration that triggered it in the span tree.
         """
         pending = self._pending_verifies.get(device_id)
         if pending is not None:
@@ -107,7 +127,7 @@ class RoamingLiaison:
             # keep the newest callback.
             pending.callback = on_verdict
             return
-        self._expired_verifies.discard(device_id)
+        self._expired_verifies.pop(device_id, None)
         request = MembershipVerifyRequest(
             device_id=device_id,
             claimed_master=claimed_master,
@@ -122,7 +142,16 @@ class RoamingLiaison:
         def _give_up() -> None:
             self._expire_verify(device_id, claimed_master)
 
-        pending = _PendingVerify(callback=on_verdict)
+        pending = _PendingVerify(
+            callback=on_verdict,
+            span=self._spans.begin(
+                "roaming.verify",
+                self._aggregator_id.name,
+                parent=parent_span,
+                device=device_id.name,
+                master=claimed_master.name,
+            ),
+        )
         if self._retry is not None:
             pending.timer = RetryTimer(
                 self._mesh.sim,
@@ -146,7 +175,12 @@ class RoamingLiaison:
         if pending is None:
             return
         self.stats.verify_timeouts += 1
-        self._expired_verifies.add(device_id)
+        if pending.span is not None:
+            self._spans.finish(pending.span, "timeout")
+        self._expired_verifies[device_id] = None
+        while len(self._expired_verifies) > self._expired_cap:
+            self._expired_verifies.pop(next(iter(self._expired_verifies)))
+            self.stats.expired_evictions += 1
         self._mesh.trace(
             "roaming.verify_timeout",
             device=device_id.name,
@@ -179,15 +213,24 @@ class RoamingLiaison:
         pending = self._pending_verifies.pop(response.device_id, None)
         if pending is None:
             if response.device_id in self._expired_verifies:
-                self._expired_verifies.discard(response.device_id)
+                self._expired_verifies.pop(response.device_id, None)
                 self.stats.verify_responses_late += 1
                 return
+            # A verdict whose expired entry was FIFO-evicted is
+            # indistinguishable from a genuinely unsolicited one; the
+            # cap is sized to make that window negligible.
             raise ProtocolError(
                 f"unsolicited verify response for {response.device_id} "
                 f"at {self._aggregator_id}"
             )
         if pending.timer is not None:
             pending.timer.settle()
+        if pending.span is not None:
+            self._spans.finish(
+                pending.span,
+                "ok" if response.valid else "invalid",
+                valid=response.valid,
+            )
         pending.callback(response)
 
     # -- master side ---------------------------------------------------

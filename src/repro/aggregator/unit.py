@@ -329,13 +329,23 @@ class AggregatorUnit(Process):
         message = as_message(payload)
         if not isinstance(message, RegistrationRequest):
             raise ProtocolError(f"non-registration message on {topic}")
+        span = None
+        if self._spans.enabled:
+            span = self._spans.begin(
+                "membership.register", self.name, device=message.device_id.name
+            )
         delay = self._host.processing_latency_s()
         self.sim.call_later(
-            delay, lambda: self._process_registration(message), label=self._reg_label
+            delay,
+            lambda: self._process_registration(message, span),
+            label=self._reg_label,
         )
 
-    def _process_registration(self, request: RegistrationRequest) -> None:
+    def _process_registration(
+        self, request: RegistrationRequest, span: Any = None
+    ) -> None:
         device_id = request.device_id
+        spans = self._spans
         if request.master is None:
             # Sequence 1: new home membership.
             try:
@@ -346,6 +356,8 @@ class AggregatorUnit(Process):
                 # control, not a crash.
                 self.trace("agg.network_full", device=device_id.name)
                 self._nack(device_id, NackReason.NETWORK_FULL)
+                if span is not None:
+                    spans.finish(span, "nack", reason="network_full")
                 return
             self._note_membership_change()
             self.trace("agg.register_master", device=device_id.name)
@@ -353,6 +365,8 @@ class AggregatorUnit(Process):
                 device_id,
                 RegistrationResponse(device_id, member.address, temporary=False),
             )
+            if span is not None:
+                spans.finish(span, "ok", kind="master")
             return
         if request.master.aggregator == self._aggregator_id:
             # The device claims us as its home.
@@ -362,6 +376,8 @@ class AggregatorUnit(Process):
                     device_id,
                     RegistrationResponse(device_id, member.address, temporary=False),
                 )
+                if span is not None:
+                    spans.finish(span, "ok", kind="master")
             elif self._ledger_vouches_for(device_id):
                 # Post-restart recovery: the registry (RAM) is gone but
                 # the durable chain holds this device's home records —
@@ -370,6 +386,8 @@ class AggregatorUnit(Process):
                     member = self._registry.register_master(device_id, self.now)
                 except SlotAllocationError:
                     self._nack(device_id, NackReason.NETWORK_FULL)
+                    if span is not None:
+                        spans.finish(span, "nack", reason="network_full")
                     return
                 self._note_membership_change()
                 self.trace("agg.re_registered_from_ledger", device=device_id.name)
@@ -377,8 +395,12 @@ class AggregatorUnit(Process):
                     device_id,
                     RegistrationResponse(device_id, member.address, temporary=False),
                 )
+                if span is not None:
+                    spans.finish(span, "ok", kind="master", re_registered=True)
             else:
                 self._nack(device_id, NackReason.UNKNOWN_MASTER)
+                if span is not None:
+                    spans.finish(span, "nack", reason="unknown_master")
             return
         # Sequence 2: temporary membership, verify with the master first.
         master_address = request.master
@@ -392,6 +414,8 @@ class AggregatorUnit(Process):
                 except SlotAllocationError:
                     self.trace("agg.network_full", device=device_id.name)
                     self._nack(device_id, NackReason.NETWORK_FULL)
+                    if span is not None:
+                        spans.finish(span, "nack", reason="network_full")
                     return
                 self._note_membership_change()
                 self.trace(
@@ -403,12 +427,17 @@ class AggregatorUnit(Process):
                     device_id,
                     RegistrationResponse(device_id, member.address, temporary=True),
                 )
+                if span is not None:
+                    spans.finish(span, "ok", kind="temporary")
             else:
                 self.trace("agg.verify_failed", device=device_id.name)
                 self._nack(device_id, NackReason.VERIFICATION_FAILED)
+                if span is not None:
+                    spans.finish(span, "nack", reason="verification_failed")
 
+        # The verify conversation nests under this registration span.
         self._liaison.request_verification(
-            device_id, master_address.aggregator, _on_verdict
+            device_id, master_address.aggregator, _on_verdict, parent_span=span
         )
 
     def _ledger_vouches_for(self, device_id: DeviceId) -> bool:
@@ -431,18 +460,28 @@ class AggregatorUnit(Process):
         message = as_message(payload)
         if not isinstance(message, ConsumptionReport):
             raise ProtocolError(f"non-report message on {topic}")
+        span = None
+        if self._spans.enabled:
+            span = self._spans.begin(
+                "report.conversation",
+                self.name,
+                device=message.device_id.name,
+                sequence=message.sequence,
+            )
         delay = self._host.processing_latency_s()
         self.sim.call_later(
-            delay, lambda: self._process_report(message), label=self._report_label
+            delay, lambda: self._process_report(message, span), label=self._report_label
         )
 
-    def _process_report(self, report: ConsumptionReport) -> None:
+    def _process_report(self, report: ConsumptionReport, span: Any = None) -> None:
         device_id = report.device_id
         member = self._registry.get(device_id)
         if member is None:
             # Sequence 2 trigger: report from a non-member.
             self.trace("agg.nack_not_member", device=device_id.name)
             self._nack(device_id, NackReason.NOT_A_MEMBER, report.sequence)
+            if span is not None:
+                self._spans.finish(span, "nack", reason="not_a_member")
             return
         verdict = self._verifier.screen_report(report)
         if verdict.anomalous:
@@ -450,6 +489,8 @@ class AggregatorUnit(Process):
                 "agg.report_rejected", device=device_id.name, reason=verdict.reason
             )
             self._nack(device_id, NackReason.ANOMALOUS_REPORT, report.sequence)
+            if span is not None:
+                self._spans.finish(span, "nack", reason=verdict.reason)
             return
         self._registry.touch(device_id, self.now)
         self._aggregation.add_report(device_id, report.measured_at, report.current_ma)
@@ -463,12 +504,16 @@ class AggregatorUnit(Process):
             assert member.master_address is not None
             self._liaison.forward_report(report, member.master_address.aggregator)
             self.trace("agg.forwarded", device=device_id.name)
+            if span is not None:
+                self._spans.finish(span, "forwarded")
             return
         record = report.to_record()
         record["roaming"] = False
         record["network"] = self._aggregator_id.name
         self._writer.stage(record)
         self._ack(device_id, report.sequence)
+        if span is not None:
+            self._spans.finish(span, "accepted")
 
     # -- remote device management ----------------------------------------------
 

@@ -68,17 +68,39 @@ def build_parser() -> argparse.ArgumentParser:
             "identical for any N; default: 1)"
         ),
     )
+    parser.add_argument(
+        "--obs-dir",
+        metavar="DIR",
+        help=(
+            "capture observability artifacts (spans.jsonl, metrics.prom, "
+            "metrics.jsonl, profile.json, manifest.json) into DIR"
+        ),
+    )
     return parser
 
 
-def run_scenario_file(path: str, until: float) -> dict:
-    """Build the spec in ``path``, run it and return the snapshot."""
-    from repro.runtime import ScenarioSpec, build
+def run_scenario_file(path: str, until: float, obs_dir: str | None = None) -> dict:
+    """Build the spec in ``path``, run it and return the snapshot.
+
+    With ``obs_dir``, observability is force-enabled for the run (a
+    spec's own ``obs`` block still wins) and the artifact directory is
+    written there.
+    """
+    from repro.runtime import ObsSpec, ScenarioSpec, build
 
     spec = ScenarioSpec.from_json(Path(path).read_text())
-    scenario = build(spec)
-    scenario.run_until(until)
-    return scenario.snapshot()
+    if obs_dir is None:
+        scenario = build(spec)
+        scenario.run_until(until)
+        return scenario.snapshot()
+    from repro.obs import capture
+
+    with capture(ObsSpec(enabled=True)) as session:
+        scenario = build(spec)
+        scenario.run_until(until)
+        snapshot = scenario.snapshot()
+    session.write(obs_dir)
+    return snapshot
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.scenario:
-        snapshot = run_scenario_file(args.scenario, args.until)
+        snapshot = run_scenario_file(args.scenario, args.until, obs_dir=args.obs_dir)
         text = json.dumps(snapshot, indent=2, default=str)
         print(text)
         if args.out:
@@ -98,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
             (out_dir / "scenario_snapshot.json").write_text(text + "\n")
         return 0
     names = args.experiments or None
-    outputs = run_all(names, workers=args.workers)
+    outputs = run_all(names, workers=args.workers, obs_dir=args.obs_dir)
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)

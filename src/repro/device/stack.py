@@ -230,6 +230,7 @@ class MeteringDevice(Process):
         self._registration_timeouts = 0
         self._reg_watchdog: Any | None = None
         self._receipts: dict[int, "InclusionReceipt | None"] = {}
+        self._handshake_span: Any | None = None
 
     # -- introspection ---------------------------------------------------
 
@@ -345,6 +346,10 @@ class MeteringDevice(Process):
         self._fsm.begin_join()
         handshake = HandshakeRecord(network=network_id, started_at=self.now)
         self._handshakes.append(handshake)
+        if self._spans.enabled:
+            self._handshake_span = self._spans.begin(
+                "membership.handshake", self.name, network=network_id.name
+            )
         self.trace("device.enter_network", network=network_id.name)
 
         self._mcu.set_state(McuState.WIFI_RX, self.now)
@@ -430,6 +435,11 @@ class MeteringDevice(Process):
         self._firmware.stop()
         self._fsm.network_left()
         self._recover_inflight()
+        if self._handshake_span is not None:
+            # Leaving mid-handshake (e.g. roamed away before the
+            # registration round resolved) abandons the conversation.
+            self._spans.finish(self._handshake_span, "aborted")
+            self._handshake_span = None
         self.trace("device.leave_network", network=self._current_ap.aggregator_id.name)
         self._current_ap = None
         self._mcu.set_state(McuState.LIGHT_SLEEP, self.now)
@@ -773,6 +783,11 @@ class MeteringDevice(Process):
                 # Home re-entry: the first accepted report ends the
                 # handshake without any registration round.
                 handshake.registered_at = self.now
+                if self._handshake_span is not None:
+                    self._spans.finish(
+                        self._handshake_span, "ok", temporary=False, re_entry=True
+                    )
+                    self._handshake_span = None
             # "The combination of stored data and the measurement are
             # transmitted ... in the next transmission": once a report
             # is accepted, any backlog follows.
@@ -785,6 +800,11 @@ class MeteringDevice(Process):
             if handshake is not None and handshake.registered_at is None:
                 handshake.registered_at = self.now
                 handshake.temporary = message.temporary
+                if self._handshake_span is not None:
+                    self._spans.finish(
+                        self._handshake_span, "ok", temporary=message.temporary
+                    )
+                    self._handshake_span = None
             self.trace(
                 "device.registered",
                 address=str(message.address),

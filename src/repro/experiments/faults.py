@@ -211,6 +211,7 @@ def run_fault_sweep(
     run_s: float = 30.0,
     retry: bool = True,
     workers: int = 1,
+    obs_dir: str | None = None,
 ) -> list[SweepPoint]:
     """Sweep broker-side message loss and score delivery each time.
 
@@ -219,6 +220,8 @@ def run_fault_sweep(
     *thinks* it delivered, which only the Ack-timeout retry path can
     recover.  ``workers`` > 1 runs intensities across a process pool;
     results are identical to a serial sweep for any worker count.
+    ``obs_dir`` captures per-point observability artifacts (see
+    :func:`repro.experiments.sweeps.sweep`).
     """
     if not intensities:
         return []
@@ -230,6 +233,7 @@ def run_fault_sweep(
         ],
         columns=["delivery_ratio", "billing_error", "report_timeouts"],
         workers=workers,
+        obs_dir=obs_dir,
     )
     return [
         SweepPoint(

@@ -7,6 +7,7 @@ EXPERIMENTS.md generation all share one code path.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.errors import ExperimentError
@@ -161,13 +162,49 @@ def _run_by_name(name: str) -> str:
     return EXPERIMENTS[name]()
 
 
-def run_all(names: list[str] | None = None, workers: int = 1) -> dict[str, str]:
+def _run_observed(name: str, obs_dir: str) -> str:
+    """Run one experiment under an obs capture session.
+
+    Module-level so the process pool can pickle it.  Every world the
+    experiment builds is force-instrumented and folded into one artifact
+    directory at ``obs_dir/<name>``.
+    """
+    from repro.obs import capture
+    from repro.runtime import ObsSpec
+
+    with capture(ObsSpec(enabled=True)) as session:
+        text = EXPERIMENTS[name]()
+    session.write(Path(obs_dir) / name)
+    return text
+
+
+def _merge_obs(obs_dir: str | Path, selected: list[str]) -> None:
+    """Merge per-experiment artifact dirs into ``obs_dir`` itself.
+
+    The merge order is the request order — never worker scheduling — so
+    the merged artifact is identical for any worker count.
+    """
+    from repro.obs import merge_artifact_dirs
+
+    base = Path(obs_dir)
+    merge_artifact_dirs([base / name for name in selected], base)
+
+
+def run_all(
+    names: list[str] | None = None,
+    workers: int = 1,
+    obs_dir: str | Path | None = None,
+) -> dict[str, str]:
     """Run the requested experiments (all by default); returns texts.
 
     ``workers`` > 1 fans the experiments out over a process pool — each
     experiment builds its own world from fixed seeds, so the rendered
     outputs are identical for any worker count.  Output order follows
     the request order either way.
+
+    ``obs_dir`` additionally captures observability artifacts: each
+    experiment writes ``obs_dir/<name>/`` and those directories are
+    merged into ``obs_dir`` itself in request order.
     """
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
@@ -178,12 +215,21 @@ def run_all(names: list[str] | None = None, workers: int = 1) -> dict[str, str]:
                 f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
             )
     if workers == 1 or len(selected) <= 1:
-        return {name: _run_by_name(name) for name in selected}
+        if obs_dir is None:
+            return {name: _run_by_name(name) for name in selected}
+        outputs = {name: _run_observed(name, str(obs_dir)) for name in selected}
+        _merge_obs(obs_dir, selected)
+        return outputs
     from concurrent.futures import ProcessPoolExecutor
 
     outputs: dict[str, str] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_by_name, name) for name in selected]
+        if obs_dir is None:
+            futures = [pool.submit(_run_by_name, name) for name in selected]
+        else:
+            futures = [
+                pool.submit(_run_observed, name, str(obs_dir)) for name in selected
+            ]
         for name, future in zip(selected, futures):
             try:
                 outputs[name] = future.result()
@@ -193,4 +239,6 @@ def run_all(names: list[str] | None = None, workers: int = 1) -> dict[str, str]:
                 raise ExperimentError(
                     f"experiment {name!r} failed in worker: {exc!r}"
                 ) from exc
+    if obs_dir is not None:
+        _merge_obs(obs_dir, selected)
     return outputs

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.errors import ExperimentError
@@ -56,19 +57,57 @@ def seeded(
     return out
 
 
-def _collect_serial(run: RunFn, points: list[dict[str, Any]]) -> list[Any]:
-    return [run(**point) for point in points]
+def _point_dir(obs_dir: str | Path, index: int) -> Path:
+    # Zero-padded so lexical directory order equals point order.
+    return Path(obs_dir) / f"point-{index:04d}"
+
+
+def _run_point_observed(
+    run: RunFn, obs_dir: str, index: int, point: dict[str, Any]
+) -> dict[str, Any]:
+    """Run one sweep point under an obs capture session.
+
+    Module-level so the process pool can pickle it.  Every world the
+    point builds is instrumented and written to ``obs_dir/point-<i>``.
+    """
+    from repro.obs import capture
+    from repro.runtime import ObsSpec
+
+    with capture(ObsSpec(enabled=True)) as session:
+        result = run(**point)
+    session.write(_point_dir(obs_dir, index))
+    return result
+
+
+def _collect_serial(
+    run: RunFn, points: list[dict[str, Any]], obs_dir: str | Path | None
+) -> list[Any]:
+    if obs_dir is None:
+        return [run(**point) for point in points]
+    return [
+        _run_point_observed(run, str(obs_dir), index, point)
+        for index, point in enumerate(points)
+    ]
 
 
 def _collect_parallel(
-    run: RunFn, points: list[dict[str, Any]], workers: int
+    run: RunFn,
+    points: list[dict[str, Any]],
+    workers: int,
+    obs_dir: str | Path | None,
 ) -> list[Any]:
     # Futures are drained in submission order, never as-completed: the
     # table must not depend on scheduling.  ``run`` has to be a
     # module-level callable (pickled by qualified name into workers).
     results: list[Any] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(run, **point) for point in points]
+        if obs_dir is None:
+            futures = [pool.submit(run, **point) for point in points]
+        else:
+            futures = [
+                pool.submit(_run_point_observed, run, str(obs_dir), index, point)
+                for index, point in enumerate(points)
+            ]
         for point, future in zip(points, futures):
             try:
                 results.append(future.result())
@@ -86,6 +125,7 @@ def sweep(
     points: list[dict[str, Any]],
     columns: list[str] | None = None,
     workers: int = 1,
+    obs_dir: str | Path | None = None,
 ) -> tuple[list[str], list[list[Any]]]:
     """Run ``run(**point)`` for every point; tabulate parameters+results.
 
@@ -97,6 +137,10 @@ def sweep(
     results are collected in point order, so the table is identical for
     any worker count.  A point whose run raises (or whose worker dies)
     aborts the sweep with an :class:`ExperimentError` naming the point.
+
+    ``obs_dir`` captures observability artifacts: each point writes
+    ``obs_dir/point-<i>/`` and those merge into ``obs_dir`` itself in
+    point order, identically for any worker count.
     """
     if not points:
         raise ExperimentError("sweep needs at least one point")
@@ -109,9 +153,15 @@ def sweep(
                 f"inconsistent sweep point keys: {list(point)} != {param_names}"
             )
     if workers == 1:
-        results = _collect_serial(run, points)
+        results = _collect_serial(run, points, obs_dir)
     else:
-        results = _collect_parallel(run, points, workers)
+        results = _collect_parallel(run, points, workers, obs_dir)
+    if obs_dir is not None:
+        from repro.obs import merge_artifact_dirs
+
+        merge_artifact_dirs(
+            [_point_dir(obs_dir, index) for index in range(len(points))], obs_dir
+        )
 
     rows: list[list[Any]] = []
     result_names: list[str] | None = list(columns) if columns else None

@@ -106,14 +106,22 @@ class AlertManager:
         A rule fires once when its condition first holds and re-arms
         when the condition clears — no alert storms while an excursion
         persists.
+
+        No-data semantics: a window with no samples (or a series that
+        does not exist yet) clears the firing state.  A series that
+        stops producing samples therefore re-arms after one empty
+        evaluation instead of staying "firing" forever, and fires a
+        fresh alert if the breach is still present when data returns.
         """
         fired: list[Alert] = []
         for name, rule in self._rules.items():
             if rule.series not in self._bank:
+                self._states[name].firing = False
                 continue
             series = self._bank[rule.series]
             _, values = series.window(now - rule.window_s, now + 1e-12)
             if not values:
+                self._states[name].firing = False
                 continue
             mean = sum(values) / len(values)
             state = self._states[name]

@@ -33,13 +33,25 @@ def series_to_json(series: TimeSeries) -> str:
 
 
 def export_bank(bank: SeriesBank, directory: str | Path) -> list[Path]:
-    """Write every series in ``bank`` as CSV files; returns the paths."""
+    """Write every series in ``bank`` as CSV files; returns the paths.
+
+    Sanitising collapses distinct names (``a/b`` and ``a:b`` both map to
+    ``a_b``), so colliding filenames get a numeric suffix — every series
+    keeps its own file and the returned paths are distinct.
+    """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     written: list[Path] = []
+    taken: set[str] = set()
     for name in bank.names:
         safe = name.replace("/", "_").replace(" ", "_").replace(":", "_")
-        path = target / f"{safe}.csv"
+        filename = f"{safe}.csv"
+        suffix = 0
+        while filename in taken:
+            suffix += 1
+            filename = f"{safe}.{suffix}.csv"
+        taken.add(filename)
+        path = target / filename
         path.write_text(series_to_csv(bank[name]))
         written.append(path)
     return written

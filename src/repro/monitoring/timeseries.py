@@ -97,12 +97,20 @@ class TimeSeries:
             return out
         start = self._times[0]
         end = self._times[-1]
-        edge = start
-        while edge <= end:
-            _, values = self.window(edge, edge + bucket_s)
+        # Edges are computed as start + i * bucket_s with an integer i:
+        # a running `edge += bucket_s` accumulates float error, so late
+        # samples drift into the wrong bucket and the final bucket can
+        # be dropped.  Adjacent buckets share the exact same edge value,
+        # so every sample lands in exactly one bucket.
+        i = 0
+        lo = start
+        while lo <= end:
+            hi = start + (i + 1) * bucket_s
+            _, values = self.window(lo, hi)
             if values:
-                out.append(edge + bucket_s / 2.0, float(np.mean(values)))
-            edge += bucket_s
+                out.append(lo + bucket_s / 2.0, float(np.mean(values)))
+            i += 1
+            lo = start + i * bucket_s
         return out
 
     def last_value(self) -> float | None:
@@ -117,11 +125,25 @@ class SeriesBank:
         self._series: dict[str, TimeSeries] = {}
 
     def series(self, name: str, unit: str = "") -> TimeSeries:
-        """Get or create the series called ``name``."""
+        """Get or create the series called ``name``.
+
+        The empty-string unit is a wildcard: it matches any existing
+        unit, and a series created without a unit adopts the first
+        concrete one it sees.  Two different concrete units for the
+        same name would mislabel every export, so that is an error.
+        """
         existing = self._series.get(name)
         if existing is None:
             existing = TimeSeries(name, unit)
             self._series[name] = existing
+        elif unit:
+            if not existing.unit:
+                existing._unit = unit
+            elif unit != existing.unit:
+                raise ConfigError(
+                    f"series {name!r} is recorded in {existing.unit!r}; "
+                    f"refusing conflicting unit {unit!r}"
+                )
         return existing
 
     def record(self, name: str, time: float, value: float, unit: str = "") -> None:

@@ -189,12 +189,22 @@ class BackhaulMesh(Process):
         handler = self._handlers.get(destination)
         if handler is None:
             raise BackhaulError(f"unknown destination {destination}")
+        span = None
+        if self._spans.enabled:
+            span = self._spans.begin(
+                "backhaul.forward",
+                self.name,
+                source=source.name,
+                destination=destination.name,
+            )
         if self._severed(source, destination):
             self._messages_dropped += 1
             self.count("messages_dropped")
             self.trace(
                 "backhaul.drop_severed", source=str(source), destination=str(destination)
             )
+            if span is not None:
+                self._spans.finish(span, "dropped", reason="severed")
             return 0.0
         latency = self.latency_s(source, destination)
         copies = 1
@@ -214,6 +224,8 @@ class BackhaulMesh(Process):
                         destination=str(destination),
                         verdict=verdict.value,
                     )
+                    if span is not None:
+                        self._spans.finish(span, "dropped", reason=verdict.value)
                     return latency
                 if verdict is FaultAction.DELAY:
                     latency += injector.extra_delay_s
@@ -224,12 +236,18 @@ class BackhaulMesh(Process):
         self.trace("backhaul.send", source=str(source), destination=str(destination))
 
         def _arrive() -> None:
+            # finish() is idempotent, so a DUPLICATE fault's second copy
+            # leaves the span's outcome to whichever copy landed first.
             if destination in self._down:
                 # Crashed while the message was in flight.
                 self._messages_dropped += 1
                 self.count("messages_dropped")
                 self.trace("backhaul.drop_down", destination=str(destination))
+                if span is not None:
+                    self._spans.finish(span, "dropped", reason="node_down")
                 return
+            if span is not None:
+                self._spans.finish(span, "delivered")
             handler(source, payload)
 
         for _ in range(copies):

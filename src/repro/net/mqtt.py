@@ -172,6 +172,10 @@ class MqttBroker(Process, Endpoint):
                 self.trace("mqtt.drop_down", topic=topic)
                 return
             matched = False
+            if self._spans.enabled:
+                self._spans.event(
+                    "transport.deliver", self.name, backend="mqtt", topic=topic
+                )
             for sub in list(self._subscriptions):
                 if sub.matches(topic):
                     matched = True
@@ -291,6 +295,10 @@ class MqttClient(Process, DeviceLink):
         """
         if self._broker is None or self._rssi_dbm is None:
             raise NetworkError(f"client {self.name} is not connected")
+        if self._spans.enabled:
+            self._spans.event(
+                "transport.send", self.name, backend="mqtt", topic=topic
+            )
         airtime = self._channel.airtime_s(payload_bytes)
         attempts = 1 + (self._max_retries if qos == QoS.AT_LEAST_ONCE else 0)
         delay = 0.0

@@ -1,0 +1,150 @@
+"""Unified metrics registry fronting ``CounterBank`` and ``SeriesBank``.
+
+The monitoring layer grew two unrelated stores: monotonic event
+counters (:class:`~repro.monitoring.counters.CounterBank`) and sampled
+time series (:class:`~repro.monitoring.timeseries.SeriesBank`).  The
+registry presents both through one facade and exports them in two
+machine-readable formats:
+
+* Prometheus text exposition (``to_prometheus``) — three metric
+  families: ``repro_counter`` (counter), ``repro_series_last`` and
+  ``repro_series_samples`` (gauges), each keyed by a ``name`` label so
+  the dynamic counter namespace does not explode the metric-family
+  namespace.
+* JSONL (``to_jsonl``) — one self-describing record per counter/series,
+  the format the run-artifact merge tooling consumes.
+
+Output is deterministic: entries are sorted by name, collisions between
+registered banks sum (counters) or concatenate (series).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.monitoring.counters import CounterBank
+    from repro.monitoring.timeseries import SeriesBank
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _format_value(value: float) -> str:
+    # Integral floats print as integers; everything else uses repr,
+    # which round-trips and is stable across runs.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Aggregates counter banks and series banks behind one export."""
+
+    def __init__(self) -> None:
+        self._counter_banks: list[tuple[str, CounterBank]] = []
+        self._series_banks: list[tuple[str, SeriesBank]] = []
+
+    def add_counters(self, bank: CounterBank, prefix: str = "") -> None:
+        self._counter_banks.append((prefix, bank))
+
+    def add_series(self, bank: SeriesBank, prefix: str = "") -> None:
+        self._series_banks.append((prefix, bank))
+
+    # -- snapshots -----------------------------------------------------
+
+    def counter_values(self) -> dict[str, int]:
+        """All counters, prefixed, summed on name collision, sorted."""
+        merged: dict[str, int] = {}
+        for prefix, bank in self._counter_banks:
+            for name, value in bank.snapshot().items():
+                key = prefix + name
+                merged[key] = merged.get(key, 0) + value
+        return dict(sorted(merged.items()))
+
+    def series_entries(self) -> list[dict[str, Any]]:
+        """One record per series: name, unit, sample count, last value."""
+        entries: list[dict[str, Any]] = []
+        for prefix, bank in self._series_banks:
+            for name in bank.names:
+                series = bank[name]
+                times = series.times
+                entries.append(
+                    {
+                        "name": prefix + name,
+                        "unit": series.unit,
+                        "samples": len(series),
+                        "last_time": times[-1] if times else None,
+                        "last_value": series.last_value(),
+                    }
+                )
+        entries.sort(key=lambda e: e["name"])
+        return entries
+
+    # -- exports -------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, deterministic ordering."""
+        return render_prometheus(self.counter_values(), self.series_entries())
+
+    def to_records(self) -> list[dict[str, Any]]:
+        return render_records(self.counter_values(), self.series_entries())
+
+    def to_jsonl(self) -> str:
+        return render_jsonl(self.counter_values(), self.series_entries())
+
+
+def render_prometheus(
+    counters: dict[str, int], series: list[dict[str, Any]]
+) -> str:
+    """Render already-snapshotted metrics as Prometheus text.
+
+    Shared by the registry and the artifact merge tooling (which
+    re-renders merged snapshots without the original banks).
+    """
+    lines: list[str] = []
+    lines.append("# HELP repro_counter Monotonic event counters from the run.")
+    lines.append("# TYPE repro_counter counter")
+    for name, value in sorted(counters.items()):
+        lines.append(f'repro_counter{{name="{_escape_label(name)}"}} {value}')
+    ordered = sorted(series, key=lambda e: e["name"])
+    lines.append("# HELP repro_series_last Last recorded value per time series.")
+    lines.append("# TYPE repro_series_last gauge")
+    for entry in ordered:
+        if entry["last_value"] is None:
+            continue
+        label = f'name="{_escape_label(entry["name"])}"'
+        if entry.get("unit"):
+            label += f',unit="{_escape_label(entry["unit"])}"'
+        lines.append(f"repro_series_last{{{label}}} {_format_value(entry['last_value'])}")
+    lines.append("# HELP repro_series_samples Samples recorded per time series.")
+    lines.append("# TYPE repro_series_samples gauge")
+    for entry in ordered:
+        label = f'name="{_escape_label(entry["name"])}"'
+        lines.append(f"repro_series_samples{{{label}}} {entry['samples']}")
+    return "\n".join(lines) + "\n"
+
+
+def render_records(
+    counters: dict[str, int], series: list[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """The ``metrics.jsonl`` records for snapshotted metrics."""
+    records: list[dict[str, Any]] = [
+        {"kind": "counter", "name": name, "value": value}
+        for name, value in sorted(counters.items())
+    ]
+    for entry in sorted(series, key=lambda e: e["name"]):
+        records.append({"kind": "series", **entry})
+    return records
+
+
+def render_jsonl(counters: dict[str, int], series: list[dict[str, Any]]) -> str:
+    import json
+
+    return "".join(
+        json.dumps(record, sort_keys=True) + "\n"
+        for record in render_records(counters, series)
+    )

@@ -1,0 +1,203 @@
+"""Kernel profiling: where a run spends its wall-clock time.
+
+The profiler owns an exact replica of :meth:`Simulator._execute`'s hot
+loop with ``perf_counter`` wrapped around every callback.  The kernel
+checks for an installed profiler **once per run call**, not once per
+event, so the disabled configuration pays a single ``is not None`` test
+per ``run_until``/``run`` — the BENCH regression gate verifies this
+stays in the noise.
+
+What it records, keyed by event label:
+
+* count / total / max wall seconds per label,
+* a power-of-two microsecond histogram per label (bucket ``b`` holds
+  callbacks with ``2^(b-1) <= µs < 2^b``),
+* periodic events-per-second samples (every ``sample_every`` events).
+
+Snapshots aggregate labels two ways.  The **actor** is the label prefix
+before the first ``:`` (labels follow ``"{actor}:{purpose}"``).  The
+**event type** is the suffix, normalised so per-entity detail collapses:
+an MQTT topic keeps only its last path segment, and backhaul routes
+(``a->b``) collapse to ``send``.
+
+Determinism note: wall-clock fields are inherently run-dependent; the
+``events`` counts are deterministic.  Artifact merge tooling relies only
+on the latter.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop
+from time import perf_counter
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.kernel import Simulator
+
+HIST_BUCKETS = 32
+
+
+class _LabelStats:
+    __slots__ = ("count", "total_s", "max_s", "hist")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self.hist = [0] * HIST_BUCKETS
+
+    def add(self, elapsed: float) -> None:
+        self.count += 1
+        self.total_s += elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+        bucket = int(elapsed * 1e6).bit_length()
+        self.hist[bucket if bucket < HIST_BUCKETS else HIST_BUCKETS - 1] += 1
+
+    def merge(self, other: "_LabelStats") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        if other.max_s > self.max_s:
+            self.max_s = other.max_s
+        for i, n in enumerate(other.hist):
+            self.hist[i] += n
+
+    def to_dict(self) -> dict[str, Any]:
+        # Trim trailing empty buckets so artifacts stay readable.
+        hist = self.hist
+        top = HIST_BUCKETS
+        while top > 0 and hist[top - 1] == 0:
+            top -= 1
+        return {
+            "count": self.count,
+            "total_s": round(self.total_s, 9),
+            "max_s": round(self.max_s, 9),
+            "hist_log2_us": hist[:top],
+        }
+
+
+def _event_type(label: str) -> str:
+    """Collapse a per-entity event label to its event type."""
+    if not label:
+        return "(unlabelled)"
+    _, sep, suffix = label.partition(":")
+    if not sep:
+        return label
+    if "->" in suffix:
+        return "send"
+    if "/" in suffix:
+        return suffix.rsplit("/", 1)[-1]
+    return suffix
+
+
+class KernelProfiler:
+    """Collects per-label wall-clock stats by running the kernel loop.
+
+    Install with :meth:`Simulator.set_profiler`; remove by installing
+    ``None``.  One profiler may span several ``run_until`` calls — the
+    stats accumulate.
+    """
+
+    def __init__(self, sample_every: int = 10_000) -> None:
+        self._sample_every = max(1, sample_every)
+        self._by_label: dict[str, _LabelStats] = {}
+        self._events = 0
+        self._wall_s = 0.0
+        self._samples: list[dict[str, Any]] = []
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    # -- the instrumented run loop -------------------------------------
+
+    def execute(
+        self,
+        sim: "Simulator",
+        end_time: float,
+        max_events: int | None,
+        guard: str,
+    ) -> None:
+        """Mirror of ``Simulator._execute`` with per-callback timing.
+
+        Must preserve the kernel's exact semantics: cancelled-head pops,
+        batched same-instant dispatch with a single clock write, the
+        ``max_events`` guard, and the once-per-run ``_events_executed``
+        flush in ``finally``.
+        """
+        heap = sim.queue._heap
+        clock = sim.clock
+        now = clock.now
+        executed = 0
+        by_label = self._by_label
+        sample_every = self._sample_every
+        run_start = perf_counter()
+        try:
+            while heap:
+                entry = heap[0]
+                event = entry[3]
+                if event.cancelled:
+                    heappop(heap)
+                    continue
+                time = entry[0]
+                if time > end_time:
+                    break
+                heappop(heap)
+                if time != now:
+                    clock.now = now = time
+                executed += 1
+                start = perf_counter()
+                event.callback()
+                elapsed = perf_counter() - start
+                stats = by_label.get(event.label)
+                if stats is None:
+                    stats = by_label[event.label] = _LabelStats()
+                stats.add(elapsed)
+                if executed % sample_every == 0:
+                    wall = self._wall_s + (perf_counter() - run_start)
+                    total = self._events + executed
+                    self._samples.append(
+                        {
+                            "events": total,
+                            "sim_time": now,
+                            "wall_s": round(wall, 6),
+                            "events_per_s": int(total / wall) if wall > 0 else 0,
+                        }
+                    )
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"{guard} exceeded max_events={max_events}; "
+                        "suspected runaway event loop"
+                    )
+        finally:
+            self._wall_s += perf_counter() - run_start
+            self._events += executed
+            sim._events_executed += executed
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """The ``profile.json`` payload: totals plus three breakdowns."""
+        by_actor: dict[str, _LabelStats] = {}
+        by_type: dict[str, _LabelStats] = {}
+        for label, stats in self._by_label.items():
+            actor = label.partition(":")[0] if label else "(unlabelled)"
+            for key, table in ((actor, by_actor), (_event_type(label), by_type)):
+                agg = table.get(key)
+                if agg is None:
+                    agg = table[key] = _LabelStats()
+                agg.merge(stats)
+        return {
+            "enabled": True,
+            "events": self._events,
+            "wall_s": round(self._wall_s, 6),
+            "events_per_s": int(self._events / self._wall_s) if self._wall_s > 0 else 0,
+            "by_actor": {k: by_actor[k].to_dict() for k in sorted(by_actor)},
+            "by_event_type": {k: by_type[k].to_dict() for k in sorted(by_type)},
+            "by_label": {
+                k: self._by_label[k].to_dict() for k in sorted(self._by_label)
+            },
+            "samples": list(self._samples),
+        }

@@ -1,0 +1,73 @@
+"""Process-wide observability capture sessions.
+
+The experiment stack funnels every world through
+:func:`repro.runtime.build.build`, but its call signatures (experiment
+runners, sweep workers, pool processes) don't thread an ``ObsSpec``.  A
+*capture session* sidesteps that: :func:`capture` pushes a session onto
+a module-level stack, ``build()`` consults :func:`active` and
+force-enables observability for every world built inside the ``with``
+block, and each built scenario registers itself so
+:meth:`ObsSession.write` can emit one artifact directory for the whole
+run — including runs that build several worlds.
+
+Worker processes each get their own (empty) stack; the sweep/run_all
+wrappers open a session inside the worker, write a per-worker artifact
+directory, and the parent merges them in deterministic order.
+
+This module deliberately has no ``repro.runtime``/``repro.sim`` imports
+(it sits below the kernel in the import graph); the ``obs`` spec and
+scenarios it holds are duck-typed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.artifacts import collect_scenario, write_artifacts
+
+
+class ObsSession:
+    """One capture scope: the forced obs config + the worlds built in it."""
+
+    def __init__(self, obs: Any) -> None:
+        self.obs = obs
+        self.scenarios: list[Any] = []
+
+    def register(self, scenario: Any) -> None:
+        self.scenarios.append(scenario)
+
+    def write(self, directory: str | Path) -> dict[str, Path]:
+        """Emit one artifact directory covering every registered world.
+
+        A session that never built a world still writes a valid (empty)
+        directory, so downstream tooling can rely on the layout.
+        """
+        return write_artifacts(
+            directory, [collect_scenario(s) for s in self.scenarios]
+        )
+
+
+_ACTIVE: list[ObsSession] = []
+
+
+def active() -> ObsSession | None:
+    """The innermost capture session, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def capture(obs: Any) -> Iterator[ObsSession]:
+    """Force-enable observability for every world built in this scope.
+
+    Args:
+        obs: The ``ObsSpec`` applied to worlds whose own spec leaves
+            observability off (a spec's explicit ``obs`` block wins).
+    """
+    session = ObsSession(obs)
+    _ACTIVE.append(session)
+    try:
+        yield session
+    finally:
+        _ACTIVE.pop()

@@ -19,6 +19,7 @@ from repro.runtime.spec import (
     FaultSpec,
     MeshSpec,
     NetworkSpec,
+    ObsSpec,
     ProfileSpec,
     ScenarioSpec,
     TransportSpec,
@@ -35,6 +36,7 @@ __all__ = [
     "MeshSpec",
     "FaultSpec",
     "TransportSpec",
+    "ObsSpec",
     "build",
     "add_network",
     "add_device",

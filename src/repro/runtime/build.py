@@ -25,6 +25,7 @@ from repro.hw.powerline import WireSegment
 from repro.ids import AggregatorId, DeviceId
 from repro.net.backhaul import BackhaulLink, BackhaulMesh
 from repro.net.channel import ChannelParams, WirelessChannel
+from repro.obs.session import active as _active_obs_session
 from repro.runtime.context import SimContext
 from repro.runtime.scenario import Scenario
 from repro.runtime.spec import FaultSpec, NetworkSpec, ScenarioSpec
@@ -175,7 +176,17 @@ def build(
         faults, ``scenario.fault_plan`` is armed and records into the
         shared counter bank.
     """
-    ctx = context if context is not None else SimContext.create(seed=spec.seed)
+    session = _active_obs_session()
+    if context is not None:
+        ctx = context
+    else:
+        # The spec's own obs block wins; otherwise an active capture
+        # session (the CLI's --obs-dir, sweep workers) force-enables
+        # observability without rewriting every spec in flight.
+        obs = spec.obs
+        if not obs.enabled and session is not None:
+            obs = session.obs
+        ctx = SimContext.create(seed=spec.seed, obs=obs)
     channel = (
         WirelessChannel(ChannelParams(), ctx.stream("channel"), counters=ctx.counters)
         if spec.transport.kind == "mqtt"
@@ -225,4 +236,6 @@ def build(
         injectors: dict[str, LinkFaultInjector] = {}
         for fault in spec.faults:
             _arm_fault(scenario, fault, injectors)
+    if session is not None:
+        session.register(scenario)
     return scenario

@@ -29,6 +29,8 @@ import numpy as np
 from repro.faults.plan import FaultPlan
 from repro.faults.retry import RetryPolicy
 from repro.monitoring.counters import CounterBank
+from repro.obs.profiler import KernelProfiler
+from repro.runtime.spec import ObsSpec
 from repro.sim.kernel import PeriodicTask, Simulator
 
 if TYPE_CHECKING:
@@ -64,9 +66,23 @@ class SimContext:
         seed: int = 0,
         trace: bool = True,
         trace_categories: list[str] | None = None,
+        obs: ObsSpec | None = None,
     ) -> "SimContext":
-        """Fresh context on a fresh kernel seeded with ``seed``."""
-        return cls(Simulator(seed=seed, trace=trace, trace_categories=trace_categories))
+        """Fresh context on a fresh kernel seeded with ``seed``.
+
+        ``obs`` (when enabled) turns on span recording and installs the
+        kernel profiler; ``None`` or a disabled spec costs nothing.
+        """
+        enabled = obs is not None and obs.enabled
+        simulator = Simulator(
+            seed=seed,
+            trace=trace,
+            trace_categories=trace_categories,
+            spans=enabled and obs.spans,
+        )
+        if enabled and obs.profile:
+            simulator.set_profiler(KernelProfiler(sample_every=obs.sample_every))
+        return cls(simulator)
 
     # -- kernel passthrough ----------------------------------------------
 

@@ -148,6 +148,19 @@ class Scenario:
             **self.summary(),
         }
 
+    def write_obs_artifacts(self, directory) -> dict[str, Path]:
+        """Write this run's observability artifacts to ``directory``.
+
+        Emits the self-contained ``repro-obs/1`` layout (``spans.jsonl``,
+        ``metrics.prom``, ``metrics.jsonl``, ``profile.json``,
+        ``manifest.json``) and returns the written paths by file name;
+        works whether or not the run had obs enabled — a disabled run
+        just yields empty spans and a disabled profile.
+        """
+        from repro.obs.artifacts import collect_scenario, write_artifacts
+
+        return write_artifacts(directory, [collect_scenario(self)])
+
     def export_monitoring(self, directory) -> list:
         """Write every aggregator's recorded series as CSV files.
 

@@ -350,6 +350,57 @@ class TransportSpec:
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """Observability configuration for a run.
+
+    Default **off**: a spec without an ``obs`` block builds the exact
+    same world as before this layer existed (the pinned determinism
+    digest depends on it — span recording never perturbs the event
+    order, but the default keeps old spec files byte-identical on
+    round-trip).
+
+    Attributes:
+        enabled: Master switch; off means no spans and no profiler.
+        spans: Record protocol-conversation spans (when enabled).
+        profile: Install the kernel wall-clock profiler (when enabled).
+        sample_every: Events between profiler events/sec samples.
+    """
+
+    enabled: bool = False
+    spans: bool = True
+    profile: bool = True
+    sample_every: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "enabled": self.enabled,
+            "spans": self.spans,
+            "profile": self.profile,
+            "sample_every": self.sample_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ObsSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data, {"enabled", "spans", "profile", "sample_every"}, "obs"
+        )
+        return cls(
+            enabled=data.get("enabled", False),
+            spans=data.get("spans", True),
+            profile=data.get("profile", True),
+            sample_every=data.get("sample_every", 10_000),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -446,6 +497,8 @@ class ScenarioSpec:
             (default: full-fidelity ``mqtt``, so existing specs are
             unchanged).
         faults: Deterministic fault schedule (empty: a clean world).
+        obs: Observability configuration (default off — see
+            :class:`ObsSpec`).
     """
 
     networks: tuple[NetworkSpec, ...]
@@ -457,6 +510,7 @@ class ScenarioSpec:
     mesh: MeshSpec = field(default_factory=MeshSpec)
     transport: TransportSpec = field(default_factory=TransportSpec)
     faults: tuple[FaultSpec, ...] = ()
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -513,6 +567,7 @@ class ScenarioSpec:
             "mesh": self.mesh.to_dict(),
             "transport": self.transport.to_dict(),
             "faults": [f.to_dict() for f in self.faults],
+            "obs": self.obs.to_dict(),
         }
 
     @classmethod
@@ -521,7 +576,7 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "transport", "faults"},
+             "mesh", "transport", "faults", "obs"},
             "scenario",
         )
         return cls(
@@ -538,6 +593,7 @@ class ScenarioSpec:
                 else TransportSpec()
             ),
             faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", [])),
+            obs=ObsSpec.from_dict(data["obs"]) if "obs" in data else ObsSpec(),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -15,6 +15,7 @@ from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SchedulingError, SimulationError
+from repro.obs.spans import SpanTracer
 from repro.sim.clock import SimClock
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngStreams
@@ -111,6 +112,10 @@ class Simulator:
         seed: Master seed for all random streams.
         trace: Whether to capture trace records.
         trace_categories: Optional whitelist of trace categories.
+        spans: Whether to record protocol-conversation spans
+            (:class:`~repro.obs.spans.SpanTracer`).  Off by default; a
+            disabled tracer is method-swapped no-ops, so instrumented
+            code stays out of the hot path's way.
     """
 
     def __init__(
@@ -118,13 +123,30 @@ class Simulator:
         seed: int = 0,
         trace: bool = True,
         trace_categories: list[str] | None = None,
+        spans: bool = False,
     ) -> None:
         self.clock = SimClock()
         self.queue = EventQueue()
         self.rng = RngStreams(seed)
         self.trace = TraceRecorder(enabled=trace, categories=trace_categories)
+        self.spans = SpanTracer(self.clock, enabled=spans)
         self._running = False
         self._events_executed = 0
+        self._profiler = None
+
+    @property
+    def profiler(self):
+        """The installed :class:`~repro.obs.profiler.KernelProfiler`, if any."""
+        return self._profiler
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or, with ``None``, remove) a kernel profiler.
+
+        The profiler substitutes its own instrumented copy of the run
+        loop; with none installed the only cost is one ``is not None``
+        check per ``run_until``/``run`` call.
+        """
+        self._profiler = profiler
 
     @property
     def now(self) -> float:
@@ -241,6 +263,13 @@ class Simulator:
         ``(time, priority, sequence)`` order — the order is bit-identical
         to the pre-tuple-heap kernel.
         """
+        profiler = self._profiler
+        if profiler is not None:
+            # The profiler runs its own instrumented replica of this
+            # loop; delegating here keeps the uninstrumented path free
+            # of per-event timing branches.
+            profiler.execute(self, end_time, max_events, guard)
+            return
         heap = self.queue._heap
         clock = self.clock
         now = clock.now

@@ -46,6 +46,7 @@ class Process:
         self._counts = self._context.counters._counts
         self._trace_record = self._sim.trace.record
         self._clock = self._sim.clock
+        self._spans = self._sim.spans
 
     @property
     def sim(self) -> Simulator:

@@ -197,6 +197,7 @@ class DirectHub(Process, Endpoint):
                 self.trace("direct.drop_down", topic=topic)
             return
         cache = self._route_cache
+        spans = self._spans
         routed = 0
         for topic, payload in batch:
             targets = cache.get(topic)
@@ -214,6 +215,10 @@ class DirectHub(Process, Endpoint):
                 targets = cache[topic] = tuple(merged)
             if targets:
                 routed += 1
+                if spans.enabled:
+                    spans.event(
+                        "transport.deliver", self.name, backend="direct", topic=topic
+                    )
                 for callback in targets:
                     callback(topic, payload)
         self._messages_routed += routed
@@ -321,6 +326,10 @@ class DirectLink(Process, DeviceLink):
         """Publish one message; True when handed to the endpoint."""
         if self._endpoint is None:
             raise NetworkError(f"link {self.name} is not connected")
+        if self._spans.enabled:
+            self._spans.event(
+                "transport.send", self.name, backend="direct", topic=topic
+            )
         transport = self._transport
         if (
             self._injector is None

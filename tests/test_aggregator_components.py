@@ -323,3 +323,54 @@ class TestRoamingLiaison:
         sim.run()
         assert host.stats.reports_forwarded == 1
         assert len(inbox["master"]) == 1
+
+    def make_silent_master_host(self, expired_cap=2):
+        """A host whose verifies always expire (the master never answers)."""
+        from repro.faults.retry import RetryPolicy
+
+        sim = Simulator()
+        mesh = BackhaulMesh(sim)
+        host = RoamingLiaison(
+            AGG2,
+            mesh,
+            retry=RetryPolicy(
+                timeout_s=0.1, base_backoff_s=0.1, max_attempts=1, jitter=0.0
+            ),
+            expired_cap=expired_cap,
+        )
+        mesh.add_aggregator(AGG2, lambda s, p: None)
+        mesh.add_aggregator(AGG1, lambda s, p: None)
+        mesh.connect(BackhaulLink(AGG1, AGG2, 0.001))
+        return sim, host
+
+    def test_expired_verifies_capped_with_fifo_eviction(self):
+        # Pre-fix the expired set grew one entry per device forever.
+        sim, host = self.make_silent_master_host(expired_cap=2)
+        for name in ("d1", "d2", "d3"):
+            host.request_verification(DeviceId(name), AGG1, lambda r: None)
+        sim.run()
+        assert host.stats.verify_timeouts == 3
+        assert host.stats.expired_evictions == 1
+        # d1's entry was evicted: its late verdict is unsolicited now.
+        with pytest.raises(ProtocolError):
+            host.handle_verify_response(
+                MembershipVerifyResponse(DeviceId("d1"), AGG1, True)
+            )
+        # d2 survived under the cap: its late verdict is absorbed.
+        host.handle_verify_response(
+            MembershipVerifyResponse(DeviceId("d2"), AGG1, True)
+        )
+        assert host.stats.verify_responses_late == 1
+
+    def test_reregistration_clears_expired_entry(self):
+        sim, host = self.make_silent_master_host(expired_cap=8)
+        host.request_verification(DeviceId("d1"), AGG1, lambda r: None)
+        sim.run()
+        assert host.stats.verify_timeouts == 1
+        # The device registers again: the stale expired marker must not
+        # linger (pre-fix it did, mis-counting the next late verdict).
+        host.request_verification(DeviceId("d1"), AGG1, lambda r: None)
+        sim.run()
+        assert host.stats.verify_timeouts == 2
+        assert host.stats.verify_responses_late == 0
+        assert host.stats.expired_evictions == 0

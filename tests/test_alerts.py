@@ -70,6 +70,25 @@ class TestAlertManager:
         manager.evaluate(3.9)    # breach 2
         assert len(manager.alerts) == 2
 
+    def test_no_data_clears_stale_firing_state(self):
+        # Pre-fix an empty evaluation window left `firing` set, so a
+        # series that stopped producing samples stayed "firing" forever
+        # and a later, genuinely new breach never re-alerted.
+        bank = bank_with(samples=[(t * 0.1, 100.0) for t in range(10)])
+        manager = AlertManager(bank)
+        manager.add_rule(
+            AlertRule("overload", "feeder", AlertCondition.ABOVE, 50.0, window_s=1.0)
+        )
+        assert len(manager.evaluate(0.95)) == 1
+        # The series went silent: one empty window re-arms the rule.
+        assert manager.evaluate(5.0) == []
+        assert manager.firing == []
+        # Data returns, still breaching: that is a fresh excursion.
+        bank.record("feeder", 10.0, 100.0)
+        fired = manager.evaluate(10.5)
+        assert len(fired) == 1
+        assert len(manager.alerts) == 2
+
     def test_missing_series_is_quiet(self):
         manager = AlertManager(SeriesBank())
         manager.add_rule(AlertRule("r", "ghost", AlertCondition.ABOVE, 1.0))

@@ -23,6 +23,18 @@ class TestRunner:
     def test_registry_names_are_stable(self):
         assert {"fig5", "fig6", "handshake"} <= set(EXPERIMENTS)
 
+    def test_obs_dir_writes_per_experiment_and_merged_artifacts(self, tmp_path):
+        from repro.obs.validate import validate_artifact_dir
+
+        obs_dir = tmp_path / "obs"
+        outputs = run_all(["handshake"], obs_dir=str(obs_dir))
+        assert list(outputs) == ["handshake"]
+        # one sub-directory per experiment, plus the merged roll-up
+        assert not validate_artifact_dir(obs_dir / "handshake")
+        assert not validate_artifact_dir(obs_dir)
+        manifest = json.loads((obs_dir / "manifest.json").read_text())
+        assert manifest["merged_from"] == ["handshake"]
+
 
 class TestCli:
     def test_list_flag(self, capsys):

@@ -65,6 +65,17 @@ class TestTimeSeries:
         assert filled_series(3).last_value() == 2.0
         assert TimeSeries("x").last_value() is None
 
+    def test_resample_edges_do_not_drift(self):
+        # Pre-fix the loop accumulated `edge += bucket_s`, so with a
+        # 0.1 s bucket over 50 samples float error pushed samples into
+        # neighbouring buckets and dropped the final one entirely.
+        series = TimeSeries("drift")
+        for i in range(50):
+            series.append(i * 0.1, float(i))
+        resampled = series.resample(0.1)
+        assert len(resampled) == 50
+        assert resampled.values == [float(i) for i in range(50)]
+
     def test_invalid_params(self):
         with pytest.raises(ConfigError):
             TimeSeries("")
@@ -94,6 +105,23 @@ class TestSeriesBank:
         bank.record("b", 0.0, 0.0)
         bank.record("a", 0.0, 0.0)
         assert bank.names == ["b", "a"]
+
+    def test_conflicting_unit_rejected(self):
+        bank = SeriesBank()
+        bank.series("load", "mA")
+        with pytest.raises(ConfigError):
+            bank.series("load", "mWh")
+        with pytest.raises(ConfigError):
+            bank.record("load", 0.0, 1.0, unit="V")
+
+    def test_empty_unit_is_wildcard_and_adopts(self):
+        bank = SeriesBank()
+        bank.record("load", 0.0, 1.0)  # created unitless
+        bank.record("load", 1.0, 2.0, unit="mA")  # adopts the unit
+        assert bank["load"].unit == "mA"
+        bank.record("load", 2.0, 3.0)  # wildcard still matches
+        with pytest.raises(ConfigError):
+            bank.record("load", 3.0, 4.0, unit="mW")
 
 
 class TestDashboards:
@@ -141,3 +169,26 @@ class TestExport:
         assert len(paths) == 1
         assert paths[0].exists()
         assert "received_device1" in paths[0].name
+
+    def test_export_bank_dedupes_sanitized_collisions(self, tmp_path):
+        # "a/b" and "a:b" both sanitize to "a_b" — pre-fix the second
+        # export silently overwrote the first.
+        bank = SeriesBank()
+        bank.record("a/b", 0.0, 1.0)
+        bank.record("a:b", 0.0, 2.0)
+        paths = export_bank(bank, tmp_path)
+        assert len(paths) == 2
+        assert len(set(paths)) == 2
+        assert all(p.exists() for p in paths)
+        contents = {p.read_text() for p in paths}
+        assert len(contents) == 2  # both series' data survived
+
+    def test_export_bank_suffix_never_shadows_literal_name(self, tmp_path):
+        # A series literally named like the dedupe suffix must not be
+        # overwritten by a deduped neighbour.
+        bank = SeriesBank()
+        bank.record("a_b.1", 0.0, 0.0)
+        bank.record("a/b", 0.0, 1.0)
+        bank.record("a:b", 0.0, 2.0)
+        paths = export_bank(bank, tmp_path)
+        assert len(set(paths)) == 3

@@ -192,6 +192,22 @@ class TestDeterminism:
         scenario.run_until(30.0)
         assert scenario.chain.tip_hash == PAPER_TESTBED_SEED7_DIGEST
 
+    def test_observed_paper_testbed_matches_pinned_digest(self):
+        # Spans + profiler are pure observation: an instrumented run
+        # must reproduce the pinned ledger digest bit for bit.
+        import dataclasses
+
+        from repro.runtime import ObsSpec
+
+        spec = dataclasses.replace(
+            paper_testbed_spec(seed=7), obs=ObsSpec(enabled=True)
+        )
+        scenario = build(spec)
+        scenario.run_until(30.0)
+        assert scenario.chain.tip_hash == PAPER_TESTBED_SEED7_DIGEST
+        assert len(scenario.simulator.spans) > 0
+        assert scenario.simulator.profiler is not None
+
     def test_same_spec_builds_identical_worlds(self):
         spec = scaled_spec(n_networks=2, devices_per_network=3, seed=11)
         digests = []
