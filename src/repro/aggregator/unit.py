@@ -31,6 +31,8 @@ from repro.protocol.messages import (
     Ack,
     ConsumptionReport,
     ForwardedConsumption,
+    HeaderBatchRequest,
+    HeaderBatchResponse,
     MembershipVerifyRequest,
     MembershipVerifyResponse,
     MgmtCommand,
@@ -50,6 +52,10 @@ from repro.transport.base import Endpoint, Mesh, Transport
 
 if TYPE_CHECKING:
     from repro.runtime.context import SimContext
+
+# Upper bound on headers served per batch regardless of what a client
+# asks for — bounds response size on constrained downlinks.
+_MAX_HEADER_BATCH = 256
 
 
 @dataclass(frozen=True)
@@ -177,6 +183,7 @@ class AggregatorUnit(Process):
         self._broker.subscribe("meter/+/register", self._on_register)
         self._broker.subscribe("meter/+/report", self._on_report)
         self._broker.subscribe("meter/+/receipt", self._on_receipt_request)
+        self._broker.subscribe("meter/+/chainsync", self._on_header_request)
         self._broker.subscribe("meter/+/mgmt", self._on_mgmt_response)
         self._next_mgmt_request = 1
         self._mgmt_responses: dict[int, MgmtResponse] = {}
@@ -581,6 +588,46 @@ class AggregatorUnit(Process):
                 request.sequence,
                 found=True,
                 receipt=receipt_to_dict(receipt),
+            ),
+        )
+
+    # -- lightweight-client header sync ---------------------------------------
+
+    def _on_header_request(self, topic: str, payload: Any) -> None:
+        message = as_message(payload)
+        if not isinstance(message, HeaderBatchRequest):
+            raise ProtocolError(f"non-chainsync message on {topic}")
+        delay = self._host.processing_latency_s()
+        self.sim.call_later(
+            delay, lambda: self._process_header_request(message),
+            label=f"{self.name}:chainsync",
+        )
+
+    def _process_header_request(self, request: HeaderBatchRequest) -> None:
+        count = min(request.max_count, _MAX_HEADER_BATCH)
+        start = request.from_height
+        checkpoint: dict[str, Any] | None = None
+        if start == 0:
+            # A fresh client syncing from genesis fast-forwards to the
+            # latest committed checkpoint instead of replaying the whole
+            # chain header by header (Danzi et al.: bootstrap cost must
+            # not grow with ledger age).
+            latest = self._chain.latest_checkpoint
+            if latest is not None and latest.height > count:
+                checkpoint = latest.to_dict()
+                start = latest.height
+        headers = tuple(hr.to_dict() for hr in self._chain.headers(start, count))
+        self.trace(
+            "agg.headers_served",
+            device=request.device_id.name,
+            from_height=start,
+            count=len(headers),
+            anchored=checkpoint is not None,
+        )
+        self._send_to_device(
+            request.device_id,
+            HeaderBatchResponse(
+                request.device_id, start, self._chain.height, headers, checkpoint
             ),
         )
 

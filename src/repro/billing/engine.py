@@ -50,16 +50,22 @@ class BillingEngine:
         Records are deduplicated by sequence number — the ledger may
         legitimately hold a record twice when a QoS-1 retransmission
         raced an Ack, and double-billing would be a correctness bug.
+
+        The period is half-open, ``[start, end)``, so a record at
+        exactly ``end`` is billed by the next period's invoice, never
+        both.
         """
         start, end = period
         if end < start:
-            raise BillingError(f"empty billing period [{start}, {end}]")
+            raise BillingError(f"inverted billing period [{start}, {end})")
+        if end == start:
+            raise BillingError(f"empty billing period [{start}, {end})")
         tariff = self._tariff_for(device_id.uid)
         invoice = Invoice(device=device_id.name, period=period)
         seen_sequences: set[int] = set()
         for record in self._chain.records_for_device(device_id.uid):
             measured_at = float(record["measured_at"])
-            if not start <= measured_at <= end:
+            if not start <= measured_at < end:
                 continue
             sequence = int(record["sequence"])
             if sequence in seen_sequences:
@@ -77,13 +83,13 @@ class BillingEngine:
         return invoice
 
     def settlement_summary(self, period: tuple[float, float]) -> dict[str, Any]:
-        """Totals per device name over a period (cross-device view)."""
+        """Totals per device name over a half-open period ``[start, end)``."""
         start, end = period
         totals: dict[str, float] = {}
         for block in self._chain:
             for record in block.records:
                 measured_at = float(record["measured_at"])
-                if start <= measured_at <= end:
+                if start <= measured_at < end:
                     name = record["device"]
                     totals[name] = totals.get(name, 0.0) + float(record["energy_mwh"])
         return {"period": [start, end], "energy_mwh_by_device": totals}

@@ -74,17 +74,24 @@ class SettlementEngine:
         self._tariff = wholesale_tariff
 
     def settle(self, period: tuple[float, float]) -> SettlementMatrix:
-        """Aggregate every roaming record in ``period`` into positions."""
+        """Aggregate every roaming record in ``period`` into positions.
+
+        The period is half-open, ``[start, end)``: a record measured at
+        exactly ``end`` belongs to the *next* period, so adjacent
+        settlement runs never bill the same record twice.
+        """
         start, end = period
         if end < start:
-            raise BillingError(f"empty settlement period [{start}, {end}]")
+            raise BillingError(f"inverted settlement period [{start}, {end})")
+        if end == start:
+            raise BillingError(f"empty settlement period [{start}, {end})")
         totals: dict[tuple[str, str], tuple[float, float]] = {}
         for block in self._chain:
             for record in block.records:
                 if not record.get("roaming"):
                     continue
                 measured_at = float(record["measured_at"])
-                if not start <= measured_at <= end:
+                if not start <= measured_at < end:
                     continue
                 home = str(record.get("network"))
                 host = str(record.get("host"))

@@ -13,6 +13,8 @@ Components:
 * :mod:`repro.chain.ledger` — the append-only validated chain,
 * :mod:`repro.chain.store` — block storage backends,
 * :mod:`repro.chain.audit` — tamper detection over stored chains,
+* :mod:`repro.chain.sync` — lightweight-client header sync and
+  checkpoints (Danzi et al.),
 * :mod:`repro.chain.consensus` — optional proof-of-authority rounds
   (the paper's future-work "consensus among devices").
 """
@@ -25,14 +27,36 @@ from repro.chain.hashing import canonical_bytes, sha256_hex
 from repro.chain.ledger import Blockchain
 from repro.chain.merkle import MerkleTree, merkle_root
 from repro.chain.pbft import PbftCluster, PbftReplica
-from repro.chain.receipts import InclusionReceipt, find_and_issue, issue_receipt
+from repro.chain.receipts import (
+    InclusionReceipt,
+    find_and_issue,
+    issue_receipt,
+    receipt_from_dict,
+    receipt_to_dict,
+)
 from repro.chain.store import BlockStore, InMemoryBlockStore, JsonlBlockStore
+from repro.chain.sync import (
+    Checkpoint,
+    HeaderChain,
+    HeaderRecord,
+    LedgerSyncClient,
+    SyncPolicy,
+    SyncStats,
+)
 
 __all__ = [
     "AuditReport",
     "audit_chain",
     "Block",
     "BlockHeader",
+    "Checkpoint",
+    "HeaderChain",
+    "HeaderRecord",
+    "LedgerSyncClient",
+    "SyncPolicy",
+    "SyncStats",
+    "receipt_from_dict",
+    "receipt_to_dict",
     "PoaConsensus",
     "Validator",
     "Vote",

@@ -7,15 +7,35 @@ reproduction each append names the creating aggregator, so a single
 :class:`Blockchain` instance can be shared by many aggregators (the
 common permissioned chain) or instantiated per aggregator for isolation
 experiments.
+
+Beyond raw storage the chain maintains three derived structures:
+
+* a **per-device record index** mapping ``device_uid`` to the (height,
+  record index, sequence) coordinates of every retained record, so
+  receipt issuance and billing queries stop being O(chain) scans,
+* a **header list** for *every* height ever appended — this is what
+  lightweight clients sync (:mod:`repro.chain.sync`) and what keeps
+  receipts against pruned blocks verifiable,
+* optional **checkpoints** every ``checkpoint_interval`` blocks, each
+  committing to the prefix below it.  With ``pruning_depth`` set, block
+  *bodies* older than the newest checkpoint-covered boundary are dropped
+  from the store, bounding memory to O(recent) while headers and
+  checkpoints keep the full history verifiable.
+
+All derived state is re-synced lazily from the store, so a second
+:class:`Blockchain` reading a shared (e.g. JSONL) store sees blocks
+appended by other writers.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.chain.block import Block
 from repro.chain.hashing import GENESIS_HASH
 from repro.chain.store import BlockStore, InMemoryBlockStore
+from repro.chain.sync import Checkpoint, HeaderRecord
 from repro.errors import BlockValidationError, ChainError
 
 if TYPE_CHECKING:
@@ -31,6 +51,11 @@ class Blockchain:
             (the "permissioned" part).  ``None`` allows any appender.
         counters: Optional shared counter bank; appends are recorded as
             ``chain.blocks_appended`` / ``chain.records_appended``.
+        checkpoint_interval: Commit a :class:`Checkpoint` every this
+            many blocks (``None`` disables checkpointing).
+        pruning_depth: Keep at least this many recent block bodies;
+            older ones are pruned at each checkpoint, never past the
+            newest checkpoint.  Requires ``checkpoint_interval``.
     """
 
     def __init__(
@@ -38,25 +63,99 @@ class Blockchain:
         store: BlockStore | None = None,
         authorized: set[str] | None = None,
         counters: "CounterBank | None" = None,
+        *,
+        checkpoint_interval: int | None = None,
+        pruning_depth: int | None = None,
     ) -> None:
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ChainError(
+                f"checkpoint interval must be >= 1, got {checkpoint_interval}"
+            )
+        if pruning_depth is not None and pruning_depth < 0:
+            raise ChainError(f"pruning depth must be >= 0, got {pruning_depth}")
+        if pruning_depth is not None and checkpoint_interval is None:
+            raise ChainError(
+                "pruning requires checkpointing: receipts against pruned "
+                "blocks verify via committed checkpoints"
+            )
         self._store = store or InMemoryBlockStore()
         self._authorized = set(authorized) if authorized is not None else None
         self._counters = counters
-        existing = self._store.height()
-        if existing > 0:
-            tip = self._store.get(existing - 1)
-            self._tip_hash = tip.block_hash
-        else:
-            self._tip_hash = GENESIS_HASH
+        self._checkpoint_interval = checkpoint_interval
+        self._pruning_depth = pruning_depth
+        self._tip_hash = GENESIS_HASH
+        self._headers: list[HeaderRecord] = []
+        self._checkpoints: list[Checkpoint] = []
+        self._records_total = 0
+        self._pruned_below = 0
+        # device_uid -> height-sorted (height, record_index, sequence)
+        self._device_index: dict[str, list[tuple[int, int, Any]]] = {}
+        self._indexed_height = 0
+        self._sync_with_store()
+
+    # ------------------------------------------------------------------
+    # derived-state maintenance
+
+    def _sync_with_store(self) -> None:
+        """Index any blocks the store gained since we last looked.
+
+        Keeps a chain instance attached to a shared store (several
+        readers over one JSONL file) consistent with the file's current
+        contents.
+        """
+        store_height = self._store.height()
+        if store_height < self._indexed_height:
+            raise ChainError(
+                f"store shrank: holds {store_height} blocks, "
+                f"{self._indexed_height} already indexed"
+            )
+        while self._indexed_height < store_height:
+            self._admit(self._store.get(self._indexed_height))
+
+    def _admit(self, block: Block) -> None:
+        header = block.header
+        self._headers.append(HeaderRecord(header=header, block_hash=block.block_hash))
+        for index, record in enumerate(block.records):
+            uid = record.get("device_uid")
+            if uid is not None:
+                self._device_index.setdefault(uid, []).append(
+                    (header.height, index, record.get("sequence"))
+                )
+        self._records_total += len(block.records)
+        self._indexed_height += 1
+        self._tip_hash = block.block_hash
+        if (
+            self._checkpoint_interval is not None
+            and self._indexed_height % self._checkpoint_interval == 0
+        ):
+            self._checkpoints.append(
+                Checkpoint(
+                    height=self._indexed_height,
+                    tip_hash=self._tip_hash,
+                    record_count=self._records_total,
+                    timestamp=header.timestamp,
+                )
+            )
+            if self._pruning_depth is not None:
+                boundary = min(
+                    self._indexed_height - self._pruning_depth,
+                    self._checkpoints[-1].height,
+                )
+                if boundary > self._pruned_below:
+                    self._prune_to(boundary)
+
+    # ------------------------------------------------------------------
+    # core chain API
 
     @property
     def height(self) -> int:
-        """Number of blocks in the chain."""
+        """Number of blocks in the chain (pruned positions included)."""
         return self._store.height()
 
     @property
     def tip_hash(self) -> str:
         """Hash of the newest block (genesis sentinel when empty)."""
+        self._sync_with_store()
         return self._tip_hash
 
     def is_authorized(self, aggregator: str) -> bool:
@@ -83,15 +182,16 @@ class Blockchain:
         """
         if not self.is_authorized(aggregator):
             raise ChainError(f"aggregator {aggregator!r} is not authorized to append")
+        self._sync_with_store()
         block = Block.create(
-            height=self.height,
+            height=self._indexed_height,
             previous_hash=self._tip_hash,
             aggregator=aggregator,
             timestamp=timestamp,
             records=records,
         )
         self._store.put(block)
-        self._tip_hash = block.block_hash
+        self._admit(block)
         if self._counters is not None:
             self._counters.increment("chain.blocks_appended")
             if records:
@@ -99,11 +199,17 @@ class Blockchain:
         return block
 
     def get(self, height: int) -> Block:
-        """Fetch the block at ``height``."""
+        """Fetch the block at ``height``.
+
+        Raises :class:`~repro.errors.PrunedBlockError` when the body was
+        pruned; use :meth:`header_at` for the retained header.
+        """
         return self._store.get(height)
 
     def __iter__(self) -> Iterator[Block]:
-        for height in range(self.height):
+        """Iterate the *retained* blocks (pruned bodies are gone)."""
+        self._sync_with_store()
+        for height in range(self._pruned_below, self.height):
             yield self._store.get(height)
 
     def __len__(self) -> int:
@@ -112,11 +218,26 @@ class Blockchain:
     def validate(self) -> None:
         """Walk the whole chain, checking structure and linkage.
 
-        Raises :class:`~repro.errors.BlockValidationError` at the first
-        broken block.
+        Over the pruned prefix only header linkage can be checked (the
+        bodies are gone — the committed checkpoints vouch for them);
+        retained blocks get the full structural validation.  Raises
+        :class:`~repro.errors.BlockValidationError` at the first broken
+        block.
         """
+        self._sync_with_store()
         previous_hash = GENESIS_HASH
-        for height in range(self.height):
+        for height in range(self._pruned_below):
+            held = self._headers[height]
+            if held.header.height != height:
+                raise BlockValidationError(
+                    f"header at position {height} claims height {held.header.height}"
+                )
+            if held.header.previous_hash != previous_hash:
+                raise BlockValidationError(
+                    f"block {height}: previous-hash link broken"
+                )
+            previous_hash = held.block_hash
+        for height in range(self._pruned_below, self.height):
             block = self._store.get(height)
             if block.header.height != height:
                 raise BlockValidationError(
@@ -131,20 +252,139 @@ class Blockchain:
         if self.height > 0 and previous_hash != self._tip_hash:
             raise BlockValidationError("tip hash does not match last block")
 
+    # ------------------------------------------------------------------
+    # lightweight-client view
+
+    def header_at(self, height: int) -> HeaderRecord:
+        """Header + block hash for ``height`` (retained even when pruned)."""
+        self._sync_with_store()
+        if not 0 <= height < self._indexed_height:
+            raise ChainError(f"no header at height {height}")
+        return self._headers[height]
+
+    def headers(self, start: int, max_count: int) -> list[HeaderRecord]:
+        """Up to ``max_count`` header records from ``start`` upward."""
+        self._sync_with_store()
+        if start < 0 or max_count < 0:
+            raise ChainError(
+                f"invalid header range start={start} max_count={max_count}"
+            )
+        return self._headers[start : start + max_count]
+
+    @property
+    def checkpoints(self) -> tuple[Checkpoint, ...]:
+        """All committed checkpoints, oldest first."""
+        self._sync_with_store()
+        return tuple(self._checkpoints)
+
+    @property
+    def latest_checkpoint(self) -> Checkpoint | None:
+        """The newest committed checkpoint, if any."""
+        self._sync_with_store()
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    @property
+    def records_total(self) -> int:
+        """Records ever appended, including ones in pruned blocks."""
+        self._sync_with_store()
+        return self._records_total
+
+    # ------------------------------------------------------------------
+    # pruning
+
+    @property
+    def pruned_below(self) -> int:
+        """Block bodies below this height have been dropped."""
+        return self._pruned_below
+
+    @property
+    def retained_blocks(self) -> int:
+        """Block bodies currently held in the store."""
+        return self.height - self._pruned_below
+
+    def prune(self, below_height: int) -> int:
+        """Drop block bodies below ``below_height``; returns count dropped.
+
+        Only checkpoint-covered history may be pruned — a committed
+        checkpoint at or above the boundary is what lets receipts and
+        audits over the pruned region still anchor to verified state.
+        """
+        self._sync_with_store()
+        return self._prune_to(below_height)
+
+    def _prune_to(self, below_height: int) -> int:
+        if below_height <= self._pruned_below:
+            return 0
+        if below_height > self._indexed_height:
+            raise ChainError(
+                f"cannot prune below {below_height}: chain height is "
+                f"{self._indexed_height}"
+            )
+        if not any(cp.height >= below_height for cp in self._checkpoints):
+            raise ChainError(
+                f"cannot prune below {below_height}: no checkpoint commits "
+                "to that prefix"
+            )
+        pruner = getattr(self._store, "prune", None)
+        if pruner is None:
+            raise ChainError(
+                f"{type(self._store).__name__} does not support pruning"
+            )
+        dropped = pruner(below_height)
+        self._pruned_below = below_height
+        for uid in list(self._device_index):
+            entries = self._device_index[uid]
+            cut = bisect_left(entries, (below_height,))
+            if cut == len(entries):
+                del self._device_index[uid]
+            elif cut:
+                self._device_index[uid] = entries[cut:]
+        return dropped
+
+    # ------------------------------------------------------------------
+    # record queries (index-backed)
+
+    def locate_record(self, device_uid: str, sequence: Any) -> tuple[int, int] | None:
+        """(height, record index) of a device's record, or None.
+
+        Only retained records are findable — the index is trimmed along
+        with pruning.
+        """
+        self._sync_with_store()
+        for height, index, seq in self._device_index.get(device_uid, ()):
+            if seq == sequence:
+                return (height, index)
+        return None
+
     def records_for_device(self, device_uid: str) -> list[dict[str, Any]]:
-        """All stored records of one device, in chain order."""
+        """All *retained* records of one device, in chain order.
+
+        The index is an acceleration structure over the store, not a
+        second source of truth: each hit is re-checked against the
+        stored bytes, so a tampered store (records removed or moved —
+        what the tamper experiments simulate) reads exactly as stored,
+        never as indexed.
+        """
+        self._sync_with_store()
         found: list[dict[str, Any]] = []
-        for block in self:
-            for record in block.records:
+        block: Block | None = None
+        for height, index, _seq in self._device_index.get(device_uid, ()):
+            if block is None or block.header.height != height:
+                block = self._store.get(height)
+            if index < len(block.records):
+                record = block.records[index]
                 if record.get("device_uid") == device_uid:
                     found.append(record)
         return found
 
     def total_energy_mwh(self, device_uid: str | None = None) -> float:
-        """Sum of stored energy, optionally filtered to one device."""
+        """Sum of retained energy, optionally filtered to one device."""
         total = 0.0
+        if device_uid is not None:
+            for record in self.records_for_device(device_uid):
+                total += float(record.get("energy_mwh", 0.0))
+            return total
         for block in self:
             for record in block.records:
-                if device_uid is None or record.get("device_uid") == device_uid:
-                    total += float(record.get("energy_mwh", 0.0))
+                total += float(record.get("energy_mwh", 0.0))
         return total

@@ -88,8 +88,47 @@ class MerkleTree:
         return path
 
     @staticmethod
-    def verify_proof(record: Any, proof: list[tuple[str, str]], root: str) -> bool:
-        """Check that ``record`` is committed under ``root`` by ``proof``."""
+    def expected_proof_length(leaf_count: int) -> int:
+        """Proof length (tree depth) for a tree of ``leaf_count`` leaves."""
+        if leaf_count < 1:
+            raise ChainError(f"leaf count must be >= 1, got {leaf_count}")
+        depth = 0
+        width = leaf_count
+        while width > 1:
+            width = (width + 1) // 2
+            depth += 1
+        return depth
+
+    @staticmethod
+    def verify_proof(
+        record: Any,
+        proof: list[tuple[str, str]],
+        root: str,
+        leaf_count: int | None = None,
+    ) -> bool:
+        """Check that ``record`` is committed under ``root`` by ``proof``.
+
+        With duplicate-last-leaf pairing, ``[A, B, C]`` and
+        ``[A, B, C, C]`` share a root (the CVE-2012-2459 shape), so a
+        proof alone cannot distinguish a committed record from a
+        fabricated duplicate of the last one.  Passing ``leaf_count``
+        (which the block header commits to as ``record_count``) closes
+        that hole: the proof length must match the tree depth, and the
+        leaf index the proof's sides encode must fall inside the tree.
+        """
+        if leaf_count is not None:
+            if leaf_count < 1:
+                return False
+            if len(proof) != MerkleTree.expected_proof_length(leaf_count):
+                return False
+            # A left sibling at level k means our leaf took the right
+            # slot of that pair, i.e. bit k of the leaf index is 1.
+            index = 0
+            for position, (side, _sibling) in enumerate(proof):
+                if side == "L":
+                    index |= 1 << position
+            if index >= leaf_count:
+                return False
         running = _leaf_hash(record)
         for side, sibling in proof:
             if side == "L":

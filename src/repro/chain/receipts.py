@@ -5,6 +5,11 @@ aggregator's word that a consumption record was stored: the block's
 Merkle root commits to every record, so the aggregator can issue a
 *receipt* — the record, its inclusion proof, and the block coordinates —
 that anyone holding the block headers can verify offline.
+
+Receipts carry the block's ``leaf_count`` (its committed record count)
+because with duplicate-last-leaf pairing a bare proof cannot tell a real
+record from a forged duplicate of the last one (CVE-2012-2459); binding
+the count into verification closes that hole.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import Any
 
 from repro.chain.ledger import Blockchain
 from repro.chain.merkle import MerkleTree
-from repro.errors import ChainError
+from repro.errors import ChainError, PrunedBlockError
 
 
 @dataclass(frozen=True)
@@ -25,6 +30,8 @@ class InclusionReceipt:
         block_height: Height of the containing block.
         block_hash: That block's hash (binds the receipt to the chain).
         merkle_root: The block's record commitment.
+        leaf_count: Records committed in the block (the header's
+            ``record_count``); bound into proof verification.
         record: The committed record itself.
         proof: Merkle inclusion path (side, sibling-hash pairs).
     """
@@ -32,6 +39,7 @@ class InclusionReceipt:
     block_height: int
     block_hash: str
     merkle_root: str
+    leaf_count: int
     record: dict[str, Any]
     proof: tuple[tuple[str, str], ...]
 
@@ -39,21 +47,42 @@ class InclusionReceipt:
         """Check the receipt.
 
         Without ``chain``: verifies the Merkle proof against the
-        receipt's own root (enough when the verifier already trusts the
-        header).  With ``chain``: additionally checks the root and hash
-        against the live ledger, so a receipt referencing a forged or
-        re-written block fails.
+        receipt's own root and leaf count (enough when the verifier
+        already trusts the header).  With ``chain``: additionally checks
+        the coordinates against the live ledger, so a receipt
+        referencing a forged or re-written block fails.  Blocks whose
+        bodies were pruned are checked against the retained header.
         """
-        if not MerkleTree.verify_proof(self.record, list(self.proof), self.merkle_root):
+        if not MerkleTree.verify_proof(
+            self.record, list(self.proof), self.merkle_root, leaf_count=self.leaf_count
+        ):
             return False
         if chain is not None:
             if not 0 <= self.block_height < chain.height:
                 return False
-            block = chain.get(self.block_height)
-            if block.block_hash != self.block_hash:
-                return False
-            if block.header.merkle_root != self.merkle_root:
-                return False
+            try:
+                # Retained blocks are checked against the *stored* bytes,
+                # not the header cache: the cache is an acceleration
+                # structure and must not mask a rewritten store.
+                block = chain.get(self.block_height)
+            except PrunedBlockError:
+                header_at = getattr(chain, "header_at", None)
+                if header_at is None:
+                    return False
+                held = header_at(self.block_height)
+                if held.block_hash != self.block_hash:
+                    return False
+                if held.header.merkle_root != self.merkle_root:
+                    return False
+                if held.header.record_count != self.leaf_count:
+                    return False
+            else:
+                if block.block_hash != self.block_hash:
+                    return False
+                if block.header.merkle_root != self.merkle_root:
+                    return False
+                if block.header.record_count != self.leaf_count:
+                    return False
         return True
 
 
@@ -63,6 +92,7 @@ def receipt_to_dict(receipt: InclusionReceipt) -> dict[str, Any]:
         "block_height": receipt.block_height,
         "block_hash": receipt.block_hash,
         "merkle_root": receipt.merkle_root,
+        "leaf_count": receipt.leaf_count,
         "record": dict(receipt.record),
         "proof": [[side, sibling] for side, sibling in receipt.proof],
     }
@@ -75,6 +105,7 @@ def receipt_from_dict(data: dict[str, Any]) -> InclusionReceipt:
             block_height=int(data["block_height"]),
             block_hash=str(data["block_hash"]),
             merkle_root=str(data["merkle_root"]),
+            leaf_count=int(data["leaf_count"]),
             record=dict(data["record"]),
             proof=tuple((side, sibling) for side, sibling in data["proof"]),
         )
@@ -84,7 +115,14 @@ def receipt_from_dict(data: dict[str, Any]) -> InclusionReceipt:
 
 def issue_receipt(chain: Blockchain, block_height: int, record_index: int) -> InclusionReceipt:
     """Build the receipt for one record position."""
-    block = chain.get(block_height)
+    try:
+        block = chain.get(block_height)
+    except PrunedBlockError as exc:
+        raise ChainError(
+            f"cannot issue a receipt for pruned block {block_height}: "
+            "the record bodies are gone (existing receipts still verify "
+            "against the retained headers)"
+        ) from exc
     if not 0 <= record_index < len(block.records):
         raise ChainError(
             f"block {block_height} has no record index {record_index}"
@@ -94,6 +132,7 @@ def issue_receipt(chain: Blockchain, block_height: int, record_index: int) -> In
         block_height=block_height,
         block_hash=block.block_hash,
         merkle_root=block.header.merkle_root,
+        leaf_count=len(block.records),
         record=dict(block.records[record_index]),
         proof=tuple(tree.proof(record_index)),
     )
@@ -102,7 +141,21 @@ def issue_receipt(chain: Blockchain, block_height: int, record_index: int) -> In
 def find_and_issue(
     chain: Blockchain, device_uid: str, sequence: int
 ) -> InclusionReceipt:
-    """Locate a device's record by sequence and issue its receipt."""
+    """Locate a device's record by sequence and issue its receipt.
+
+    Uses the chain's per-device index when available (O(records of one
+    device) instead of O(chain)); falls back to a full scan for bare
+    chain-likes.
+    """
+    locate = getattr(chain, "locate_record", None)
+    if locate is not None:
+        found = locate(device_uid, sequence)
+        if found is None:
+            raise ChainError(
+                f"no record for device {device_uid} sequence {sequence} "
+                "in the retained chain"
+            )
+        return issue_receipt(chain, *found)
     for height in range(chain.height):
         block = chain.get(height)
         for index, record in enumerate(block.records):

@@ -10,6 +10,13 @@ Stores are *dumb on purpose*: they keep whatever bytes they are given.
 Detecting that stored data was mutated is the auditor's job
 (:mod:`repro.chain.audit`) — that separation is what the tamper
 experiments exercise.
+
+Both backends support *pruning*: dropping block bodies below a height so
+a long-running ledger stays O(recent) in memory.  Pruned heights still
+count toward ``height()`` — they are positions the chain once held, not
+holes — but ``get`` raises :class:`~repro.errors.PrunedBlockError` for
+them.  The JSONL file is never rewritten: on disk it remains the full
+archive, pruning only evicts the in-memory copies.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from pathlib import Path
 from typing import Protocol
 
 from repro.chain.block import Block
-from repro.errors import ChainError
+from repro.errors import ChainError, PrunedBlockError
 
 
 class BlockStore(Protocol):
@@ -42,11 +49,17 @@ class InMemoryBlockStore:
     """List-backed store; the default for simulation runs."""
 
     def __init__(self) -> None:
-        self._blocks: list[Block] = []
+        self._blocks: list[Block | None] = []
+        self._pruned_below = 0
 
     def height(self) -> int:
-        """Number of stored blocks."""
+        """Number of stored blocks (pruned positions included)."""
         return len(self._blocks)
+
+    @property
+    def pruned_below(self) -> int:
+        """Heights below this bound have had their bodies dropped."""
+        return self._pruned_below
 
     def put(self, block: Block) -> None:
         """Append one block at the next height."""
@@ -60,7 +73,22 @@ class InMemoryBlockStore:
         """Fetch a stored block."""
         if not 0 <= height < len(self._blocks):
             raise ChainError(f"no block at height {height}")
-        return self._blocks[height]
+        block = self._blocks[height]
+        if block is None:
+            raise PrunedBlockError(
+                f"block {height} is pruned (bodies below {self._pruned_below} dropped)"
+            )
+        return block
+
+    def prune(self, below_height: int) -> int:
+        """Drop block bodies below ``below_height``; returns count dropped."""
+        dropped = 0
+        for height in range(self._pruned_below, min(below_height, len(self._blocks))):
+            if self._blocks[height] is not None:
+                self._blocks[height] = None
+                dropped += 1
+        self._pruned_below = max(self._pruned_below, below_height)
+        return dropped
 
     def tamper(self, height: int, block: Block) -> None:
         """Overwrite a stored block *without* any validation.
@@ -76,18 +104,33 @@ class InMemoryBlockStore:
 class JsonlBlockStore:
     """Append-only JSON-lines file store.
 
+    The in-memory cache is keyed on the file's (size, mtime) stat: when
+    another writer appends to the same file, the next read notices the
+    stat change and re-loads, so a second reader is never stuck on its
+    first snapshot.
+
     Args:
         path: File to store blocks in; created on first append.
     """
 
     def __init__(self, path: str | Path) -> None:
         self._path = Path(path)
-        self._cache: list[Block] | None = None
+        self._cache: list[Block | None] | None = None
+        self._cache_stat: tuple[int, int] | None = None
+        self._pruned_below = 0
 
-    def _load(self) -> list[Block]:
-        if self._cache is None:
-            blocks: list[Block] = []
-            if self._path.exists():
+    def _stat(self) -> tuple[int, int] | None:
+        try:
+            st = self._path.stat()
+        except FileNotFoundError:
+            return None
+        return (st.st_size, st.st_mtime_ns)
+
+    def _load(self) -> list[Block | None]:
+        current = self._stat()
+        if self._cache is None or current != self._cache_stat:
+            blocks: list[Block | None] = []
+            if current is not None:
                 with self._path.open() as handle:
                     for line_no, line in enumerate(handle):
                         line = line.strip()
@@ -99,12 +142,22 @@ class JsonlBlockStore:
                             raise ChainError(
                                 f"corrupt block at {self._path}:{line_no + 1}: {exc}"
                             ) from exc
+            # Re-apply the prune boundary after a reload: the file stays
+            # the full archive, memory stays O(recent).
+            for height in range(min(self._pruned_below, len(blocks))):
+                blocks[height] = None
             self._cache = blocks
+            self._cache_stat = current
         return self._cache
 
     def height(self) -> int:
-        """Number of stored blocks."""
+        """Number of stored blocks (pruned positions included)."""
         return len(self._load())
+
+    @property
+    def pruned_below(self) -> int:
+        """Heights below this bound are evicted from the memory cache."""
+        return self._pruned_below
 
     def put(self, block: Block) -> None:
         """Append one block to the file and the cache."""
@@ -116,10 +169,27 @@ class JsonlBlockStore:
         with self._path.open("a") as handle:
             handle.write(json.dumps(block.to_dict(), sort_keys=True) + "\n")
         blocks.append(block)
+        self._cache_stat = self._stat()
 
     def get(self, height: int) -> Block:
         """Fetch a stored block."""
         blocks = self._load()
         if not 0 <= height < len(blocks):
             raise ChainError(f"no block at height {height}")
-        return blocks[height]
+        block = blocks[height]
+        if block is None:
+            raise PrunedBlockError(
+                f"block {height} is pruned from memory (archived in {self._path})"
+            )
+        return block
+
+    def prune(self, below_height: int) -> int:
+        """Evict cached bodies below ``below_height``; the file keeps all."""
+        blocks = self._load()
+        dropped = 0
+        for height in range(min(below_height, len(blocks))):
+            if blocks[height] is not None:
+                blocks[height] = None
+                dropped += 1
+        self._pruned_below = max(self._pruned_below, below_height)
+        return dropped

@@ -29,12 +29,22 @@ from repro.hw.ds3231 import Ds3231Rtc
 from repro.hw.esp32 import Esp32Mcu, McuState
 from repro.hw.ina219 import Ina219, Ina219Config
 from repro.ids import AggregatorId, DeviceId
+from repro.chain.sync import (
+    Checkpoint,
+    HeaderChain,
+    HeaderRecord,
+    LedgerSyncClient,
+    SyncPolicy,
+    SyncStats,
+)
 from repro.net.channel import WirelessChannel
-from repro.protocol.codec import as_message, encode_message
+from repro.protocol.codec import as_message, encode_message, encoded_size
 from repro.protocol.device_fsm import DeviceFsm, DevicePhase, FsmDecision
 from repro.protocol.messages import (
     Ack,
     ConsumptionReport,
+    HeaderBatchRequest,
+    HeaderBatchResponse,
     MgmtCommand,
     MgmtResponse,
     Nack,
@@ -103,6 +113,10 @@ class DeviceConfig:
             backoff, up to the policy's attempt budget.  ``None``
             restores the legacy behaviour (unacknowledged reports are
             lost with the session).
+        ledger_sync: Lightweight-client ledger sync policy.  When set,
+            the device periodically pulls block headers from its
+            aggregator and verifies inclusion receipts fully offline
+            against the header chain.  ``None`` (default) disables sync.
     """
 
     t_measure_s: float = 0.1
@@ -113,6 +127,7 @@ class DeviceConfig:
     flush_batch: int = 64
     registration_retry_s: float = 5.0
     retry: RetryPolicy | None = field(default_factory=RetryPolicy)
+    ledger_sync: SyncPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.t_measure_s <= 0:
@@ -231,6 +246,13 @@ class MeteringDevice(Process):
         self._reg_watchdog: Any | None = None
         self._receipts: dict[int, "InclusionReceipt | None"] = {}
         self._handshake_span: Any | None = None
+        self._sync_client: LedgerSyncClient | None = (
+            LedgerSyncClient(config.ledger_sync)
+            if config.ledger_sync is not None
+            else None
+        )
+        self._sync_task: Any | None = None
+        self._sync_topic = f"meter/{device_id.name}/chainsync"
 
     # -- introspection ---------------------------------------------------
 
@@ -305,6 +327,16 @@ class MeteringDevice(Process):
         return len(self._acked_sequences)
 
     @property
+    def acked_sequences(self) -> frozenset[int]:
+        """The acknowledged report sequences themselves."""
+        return frozenset(self._acked_sequences)
+
+    @property
+    def connected(self) -> bool:
+        """Whether the transport session is currently up."""
+        return self._client.connected
+
+    @property
     def retry_stats(self) -> dict[str, int]:
         """Report-path resilience counters.
 
@@ -376,6 +408,7 @@ class MeteringDevice(Process):
             access_point.timesync.register_clock(self.name, self._rtc)
             self._rtc.synchronize(self.now)
             self._mcu.set_state(McuState.IDLE, self.now)
+            self._arm_ledger_sync()
             decision = self._fsm.network_joined()
             self._apply_decision(decision)
             # The handshake completes at the first accepted report (home
@@ -655,6 +688,81 @@ class MeteringDevice(Process):
             )
         self.trace("device.flush", flushed=len(batch), remaining=self._store.pending)
 
+    # -- lightweight-client ledger sync -------------------------------------
+
+    @property
+    def header_chain(self) -> HeaderChain | None:
+        """The device's header-only ledger view (None when sync is off)."""
+        return self._sync_client.chain if self._sync_client is not None else None
+
+    @property
+    def sync_stats(self) -> "SyncStats | None":
+        """Sync traffic/staleness accounting (None when sync is off)."""
+        return self._sync_client.stats if self._sync_client is not None else None
+
+    def _arm_ledger_sync(self) -> None:
+        """Start the periodic header-sync task (once, on first connect).
+
+        The first round fires one reporting interval after joining — a
+        lightweight client bootstraps its header chain promptly (Danzi
+        et al.'s checkpoint fast-forward covers an old chain), then the
+        batch-size-derived period governs steady-state catch-up.
+        """
+        if self._sync_client is None or self._sync_task is not None:
+            return
+        interval = self._sync_client.policy.effective_interval_s()
+        self._sync_task = self.sim.every(
+            interval,
+            self._sync_tick,
+            first_at=self.now + self._config.t_measure_s,
+            label=f"{self.name}:chainsync",
+        )
+
+    def _sync_tick(self) -> None:
+        if self._sync_client is None or not self._client.connected:
+            return
+        if not self._fsm.can_report:
+            # Mid-registration (the bootstrap round typically lands
+            # here): retry shortly rather than idling a whole period.
+            self.sim.call_later(
+                self._config.t_measure_s,
+                self._sync_tick,
+                label=f"{self.name}:chainsync",
+            )
+            return
+        self._send_sync_request()
+
+    def _send_sync_request(self) -> None:
+        client = self._sync_client
+        assert client is not None
+        from_height, max_count = client.next_request()
+        request = HeaderBatchRequest(self._device_id, from_height, max_count)
+        client.stats.requests_sent += 1
+        client.stats.bytes_sent += encoded_size(request)
+        self._publish_message(self._sync_topic, request)
+
+    def _on_header_batch(self, message: HeaderBatchResponse) -> None:
+        client = self._sync_client
+        if client is None:
+            return  # Sync disabled; a stray response is ignorable.
+        client.stats.bytes_received += encoded_size(message)
+        headers = [HeaderRecord.from_dict(data) for data in message.headers]
+        checkpoint = (
+            Checkpoint.from_dict(message.checkpoint)
+            if message.checkpoint is not None
+            else None
+        )
+        behind = client.apply_response(headers, message.tip_height, checkpoint, self.now)
+        self.trace(
+            "device.headers_synced",
+            height=client.chain.height,
+            tip=message.tip_height,
+        )
+        if behind and self._client.connected and self._fsm.can_report:
+            # Catch-up: keep requesting until the view reaches the tip
+            # instead of waiting out the poll interval.
+            self._send_sync_request()
+
     # -- billing-dispute receipts -------------------------------------------
 
     @property
@@ -682,13 +790,25 @@ class MeteringDevice(Process):
             self.trace("device.receipt_missing", sequence=message.sequence)
             return
         receipt = receipt_from_dict(message.receipt)
-        if not receipt.verify():
+        chain_view = self.header_chain
+        if chain_view is not None and chain_view.covers(receipt.block_height):
+            # Full offline verification: the synced header chain vouches
+            # for the block coordinates, no trust in the aggregator.
+            ok = chain_view.verify_receipt(receipt)
+            offline = True
+        else:
+            # Proof-only check against the receipt's own header fields.
+            ok = receipt.verify()
+            offline = False
+        if not ok:
             # A receipt that fails its own proof is worse than none.
             self._receipts[message.sequence] = None
             self.trace("device.receipt_invalid", sequence=message.sequence)
             return
         self._receipts[message.sequence] = receipt
-        self.trace("device.receipt_verified", sequence=message.sequence)
+        self.trace(
+            "device.receipt_verified", sequence=message.sequence, offline=offline
+        )
 
     # -- remote management ----------------------------------------------------
 
@@ -838,6 +958,8 @@ class MeteringDevice(Process):
             self._apply_decision(decision)
         elif isinstance(message, ReceiptResponse):
             self._on_receipt_response(message)
+        elif isinstance(message, HeaderBatchResponse):
+            self._on_header_batch(message)
         elif isinstance(message, MgmtCommand):
             self._on_mgmt_command(message)
         elif isinstance(message, TransferMembership):

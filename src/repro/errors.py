@@ -82,6 +82,10 @@ class TamperDetectedError(ChainError):
     """An audit found that stored ledger data was mutated."""
 
 
+class PrunedBlockError(ChainError):
+    """A block body was requested below the ledger's pruning boundary."""
+
+
 class ConsensusError(ChainError):
     """The consensus extension failed to reach agreement."""
 

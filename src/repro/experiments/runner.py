@@ -136,6 +136,24 @@ def _run_loadbalance() -> str:
     )
 
 
+def _run_ledger_sync() -> str:
+    from repro.experiments.ledger_sync import run_ledger_sync
+
+    points = run_ledger_sync()
+    return render_table(
+        ["batch", "interval_s", "blocks", "hdrs/dev", "bytes/dev", "bytes/blk/dev",
+         "mean_delay_s", "max_delay_s", "offline_ok", "requested"],
+        [
+            [p.batch_size, p.sync_interval_s, p.blocks_produced,
+             round(p.headers_per_device, 1), round(p.sync_bytes_per_device, 1),
+             round(p.bytes_per_block_per_device, 2), round(p.mean_delay_s, 3),
+             round(p.max_delay_s, 3), p.receipts_verified_offline,
+             p.receipts_requested]
+            for p in points
+        ],
+    )
+
+
 def _run_validation() -> str:
     from repro.experiments.validate import render_validation, run_validation
 
@@ -152,6 +170,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "ablation-anomaly": _run_anomaly_ablation,
     "attribution": _run_attribution,
     "loadbalance": _run_loadbalance,
+    "ledger-sync": _run_ledger_sync,
     "validate": _run_validation,
 }
 

@@ -24,6 +24,8 @@ from repro.protocol.messages import (
     Ack,
     ConsumptionReport,
     ForwardedConsumption,
+    HeaderBatchRequest,
+    HeaderBatchResponse,
     MembershipVerifyRequest,
     MembershipVerifyResponse,
     Nack,
@@ -43,6 +45,8 @@ __all__ = [
     "Ack",
     "ConsumptionReport",
     "ForwardedConsumption",
+    "HeaderBatchRequest",
+    "HeaderBatchResponse",
     "MembershipVerifyRequest",
     "MembershipVerifyResponse",
     "Nack",

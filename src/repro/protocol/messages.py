@@ -311,6 +311,62 @@ class ReceiptResponse:
 
 
 @dataclass(frozen=True)
+class HeaderBatchRequest:
+    """Lightweight-client sync: ask for a batch of block headers.
+
+    The device tracks the common ledger without storing it — it fetches
+    headers from ``from_height`` upward, at most ``max_count`` per
+    round-trip (the Danzi batch-size knob).
+    """
+
+    device_id: DeviceId
+    from_height: int
+    max_count: int
+
+    def __post_init__(self) -> None:
+        if self.from_height < 0:
+            raise ProtocolError(f"from_height must be >= 0, got {self.from_height}")
+        if self.max_count < 1:
+            raise ProtocolError(f"max_count must be >= 1, got {self.max_count}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "header_batch_request",
+            "device": self.device_id.name,
+            "from_height": self.from_height,
+            "max_count": self.max_count,
+        }
+
+
+@dataclass(frozen=True)
+class HeaderBatchResponse:
+    """The aggregator's header batch, plus where the chain tip stands.
+
+    ``headers`` holds JSON forms of
+    :class:`repro.chain.sync.HeaderRecord` starting at ``from_height``.
+    ``checkpoint`` (a :class:`repro.chain.sync.Checkpoint` JSON form) is
+    offered to fresh clients facing a long chain so they can anchor past
+    the ancient prefix instead of syncing from genesis.
+    """
+
+    device_id: DeviceId
+    from_height: int
+    tip_height: int
+    headers: tuple[dict[str, Any], ...]
+    checkpoint: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "header_batch_response",
+            "device": self.device_id.name,
+            "from_height": self.from_height,
+            "tip_height": self.tip_height,
+            "headers": [dict(header) for header in self.headers],
+            "checkpoint": self.checkpoint,
+        }
+
+
+@dataclass(frozen=True)
 class TransferMembership:
     """Sequence 3: move a device's home to a new master."""
 
@@ -351,6 +407,8 @@ Message = (
     | MgmtResponse
     | ReceiptRequest
     | ReceiptResponse
+    | HeaderBatchRequest
+    | HeaderBatchResponse
     | TransferMembership
     | RemoveDevice
 )
@@ -415,6 +473,19 @@ def message_from_dict(data: dict[str, Any]) -> Message:
     if kind == "receipt_response":
         return ReceiptResponse(
             device, int(data["sequence"]), bool(data["found"]), data.get("receipt")
+        )
+    if kind == "header_batch_request":
+        return HeaderBatchRequest(
+            device, int(data["from_height"]), int(data["max_count"])
+        )
+    if kind == "header_batch_response":
+        checkpoint = data.get("checkpoint")
+        return HeaderBatchResponse(
+            device_id=device,
+            from_height=int(data["from_height"]),
+            tip_height=int(data["tip_height"]),
+            headers=tuple(dict(header) for header in data["headers"]),
+            checkpoint=dict(checkpoint) if checkpoint is not None else None,
         )
     if kind == "transfer_membership":
         return TransferMembership(device, parse_address(data["new_master"]))

@@ -17,6 +17,7 @@ from repro.runtime.scenario import Scenario
 from repro.runtime.spec import (
     DeviceSpec,
     FaultSpec,
+    LedgerSpec,
     MeshSpec,
     NetworkSpec,
     ObsSpec,
@@ -35,6 +36,7 @@ __all__ = [
     "ProfileSpec",
     "MeshSpec",
     "FaultSpec",
+    "LedgerSpec",
     "TransportSpec",
     "ObsSpec",
     "build",

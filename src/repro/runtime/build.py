@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.aggregator.unit import AggregatorConfig, AggregatorUnit
 from repro.chain.ledger import Blockchain
+from repro.chain.sync import SyncPolicy
 from repro.device.stack import DeviceConfig, MeteringDevice
 from repro.errors import ConfigError
 from repro.faults.injectors import LinkFaultInjector, LinkFaultSpec
@@ -38,10 +39,22 @@ def _aggregator_config(spec: ScenarioSpec, network: NetworkSpec) -> AggregatorCo
 
 
 def _device_config(spec: ScenarioSpec, context: SimContext) -> DeviceConfig:
+    ledger_sync = (
+        SyncPolicy(
+            batch_size=spec.ledger.header_batch_size,
+            interval_s=spec.ledger.sync_interval_s,
+        )
+        if spec.ledger.sync_enabled
+        else None
+    )
     if not spec.device_retry:
-        return DeviceConfig(t_measure_s=spec.t_measure_s, retry=None)
+        return DeviceConfig(
+            t_measure_s=spec.t_measure_s, retry=None, ledger_sync=ledger_sync
+        )
     retry = context.default_retry if context.default_retry is not None else RetryPolicy()
-    return DeviceConfig(t_measure_s=spec.t_measure_s, retry=retry)
+    return DeviceConfig(
+        t_measure_s=spec.t_measure_s, retry=retry, ledger_sync=ledger_sync
+    )
 
 
 def _channel_injector(
@@ -195,7 +208,16 @@ def build(
     scenario = Scenario(
         simulator=ctx.simulator,
         grid=GridTopology(),
-        chain=Blockchain(authorized=set(), counters=ctx.counters),
+        chain=Blockchain(
+            authorized=set(),
+            counters=ctx.counters,
+            checkpoint_interval=spec.ledger.checkpoint_interval_blocks or None,
+            pruning_depth=(
+                spec.ledger.pruning_depth_blocks
+                if spec.ledger.pruning_depth_blocks > 0
+                else None
+            ),
+        ),
         mesh=BackhaulMesh(ctx),
         channel=channel,
         transport=spec.transport.build(channel),

@@ -401,6 +401,85 @@ class ObsSpec:
 
 
 @dataclass(frozen=True)
+class LedgerSpec:
+    """Ledger sync, checkpointing and pruning configuration.
+
+    Default **off** on every axis: a spec without a ``ledger`` block
+    builds the exact world that existed before this layer (the pinned
+    determinism digest depends on it).
+
+    Attributes:
+        sync_enabled: Devices run the lightweight-client header sync
+            (Danzi et al., arXiv:1807.07422): periodic header-batch
+            requests over the control topic, offline receipt
+            verification against the local header chain.
+        header_batch_size: Headers requested per batch — the
+            delay-vs-traffic knob of the Danzi study.
+        sync_interval_s: Fixed sync period (None: derived from the
+            batch size so a client keeps up with block production).
+        checkpoint_interval_blocks: Commit a checkpoint every N blocks
+            (0: no checkpoints).
+        pruning_depth_blocks: Blocks kept behind the latest checkpoint
+            (0: never prune; > 0 requires checkpointing).
+    """
+
+    sync_enabled: bool = False
+    header_batch_size: int = 16
+    sync_interval_s: float | None = None
+    checkpoint_interval_blocks: int = 0
+    pruning_depth_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.header_batch_size < 1:
+            raise ConfigError(
+                f"header batch size must be >= 1, got {self.header_batch_size}"
+            )
+        if self.sync_interval_s is not None and self.sync_interval_s <= 0:
+            raise ConfigError(
+                f"sync interval must be positive, got {self.sync_interval_s}"
+            )
+        if self.checkpoint_interval_blocks < 0:
+            raise ConfigError(
+                f"checkpoint interval must be >= 0, got {self.checkpoint_interval_blocks}"
+            )
+        if self.pruning_depth_blocks < 0:
+            raise ConfigError(
+                f"pruning depth must be >= 0, got {self.pruning_depth_blocks}"
+            )
+        if self.pruning_depth_blocks > 0 and self.checkpoint_interval_blocks == 0:
+            raise ConfigError(
+                "pruning requires checkpointing (set checkpoint_interval_blocks)"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "sync_enabled": self.sync_enabled,
+            "header_batch_size": self.header_batch_size,
+            "sync_interval_s": self.sync_interval_s,
+            "checkpoint_interval_blocks": self.checkpoint_interval_blocks,
+            "pruning_depth_blocks": self.pruning_depth_blocks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LedgerSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"sync_enabled", "header_batch_size", "sync_interval_s",
+             "checkpoint_interval_blocks", "pruning_depth_blocks"},
+            "ledger",
+        )
+        return cls(
+            sync_enabled=data.get("sync_enabled", False),
+            header_batch_size=data.get("header_batch_size", 16),
+            sync_interval_s=data.get("sync_interval_s"),
+            checkpoint_interval_blocks=data.get("checkpoint_interval_blocks", 0),
+            pruning_depth_blocks=data.get("pruning_depth_blocks", 0),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -499,6 +578,8 @@ class ScenarioSpec:
         faults: Deterministic fault schedule (empty: a clean world).
         obs: Observability configuration (default off — see
             :class:`ObsSpec`).
+        ledger: Ledger sync / checkpoint / pruning configuration
+            (default off — see :class:`LedgerSpec`).
     """
 
     networks: tuple[NetworkSpec, ...]
@@ -511,6 +592,7 @@ class ScenarioSpec:
     transport: TransportSpec = field(default_factory=TransportSpec)
     faults: tuple[FaultSpec, ...] = ()
     obs: ObsSpec = field(default_factory=ObsSpec)
+    ledger: LedgerSpec = field(default_factory=LedgerSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -568,6 +650,7 @@ class ScenarioSpec:
             "transport": self.transport.to_dict(),
             "faults": [f.to_dict() for f in self.faults],
             "obs": self.obs.to_dict(),
+            "ledger": self.ledger.to_dict(),
         }
 
     @classmethod
@@ -576,7 +659,7 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "transport", "faults", "obs"},
+             "mesh", "transport", "faults", "obs", "ledger"},
             "scenario",
         )
         return cls(
@@ -594,6 +677,11 @@ class ScenarioSpec:
             ),
             faults=tuple(FaultSpec.from_dict(f) for f in data.get("faults", [])),
             obs=ObsSpec.from_dict(data["obs"]) if "obs" in data else ObsSpec(),
+            ledger=(
+                LedgerSpec.from_dict(data["ledger"])
+                if "ledger" in data
+                else LedgerSpec()
+            ),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -132,10 +132,11 @@ class TestInclusionReceipts:
     def test_forged_record_fails_verification(self):
         chain = self.build_chain()
         receipt = issue_receipt(chain, 1, 3)
-        forged = InclusionReceiptForged = type(receipt)(
+        forged = type(receipt)(
             block_height=receipt.block_height,
             block_hash=receipt.block_hash,
             merkle_root=receipt.merkle_root,
+            leaf_count=receipt.leaf_count,
             record=dict(receipt.record, energy_mwh=0.0),
             proof=receipt.proof,
         )

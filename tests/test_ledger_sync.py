@@ -1,0 +1,400 @@
+"""Lightweight-client ledger sync, checkpointing and pruning."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chain import (
+    Blockchain,
+    Checkpoint,
+    HeaderChain,
+    JsonlBlockStore,
+    LedgerSyncClient,
+    SyncPolicy,
+    audit_chain,
+)
+from repro.chain.receipts import issue_receipt, receipt_from_dict, receipt_to_dict
+from repro.errors import ChainError, ConfigError, PrunedBlockError
+from repro.experiments.ledger_sync import validate_bench
+from repro.runtime import LedgerSpec, ScenarioSpec, build
+from repro.runtime.spec import TransportSpec
+from repro.workloads.scenarios import scaled_spec
+
+
+def grow(chain, blocks, records_per_block=3, device="d1", uid="u1"):
+    for b in range(chain.height, chain.height + blocks):
+        chain.append(
+            "agg1",
+            float(b),
+            [
+                {"device": device, "device_uid": uid,
+                 "sequence": b * records_per_block + i,
+                 "measured_at": float(b), "energy_mwh": 0.5}
+                for i in range(records_per_block)
+            ],
+        )
+
+
+class TestHeaderChain:
+    def make_synced(self, blocks=5):
+        chain = Blockchain()
+        grow(chain, blocks)
+        light = HeaderChain()
+        light.extend(chain.headers(0, blocks))
+        return chain, light
+
+    def test_extend_follows_chain(self):
+        chain, light = self.make_synced(5)
+        assert light.height == 5
+        assert light.covers(0) and light.covers(4) and not light.covers(5)
+        assert light.tip_hash == chain.tip_hash
+
+    def test_duplicate_delivery_is_skipped(self):
+        chain, light = self.make_synced(4)
+        assert light.extend(chain.headers(0, 4)) == 0
+        assert light.height == 4
+
+    def test_gap_rejected(self):
+        chain, light = self.make_synced(2)
+        grow(chain, 4)
+        with pytest.raises(ChainError, match="gap"):
+            light.extend(chain.headers(4, 2))
+        assert light.height == 2
+
+    def test_broken_link_rejected(self):
+        chain = Blockchain()
+        grow(chain, 3)
+        other = Blockchain()
+        grow(other, 3, device="d2", uid="u2")
+        light = HeaderChain()
+        light.extend(chain.headers(0, 2))
+        with pytest.raises(ChainError, match="link"):
+            light.extend(other.headers(2, 1))
+
+    def test_anchor_fast_forward(self):
+        chain = Blockchain(checkpoint_interval=4)
+        grow(chain, 10)
+        checkpoint = chain.latest_checkpoint
+        assert checkpoint is not None and checkpoint.height == 8
+        light = HeaderChain()
+        light.anchor_at(checkpoint)
+        assert light.base == 8 and light.height == 8
+        light.extend(chain.headers(8, 10))
+        assert light.height == 10
+        assert light.tip_hash == chain.tip_hash
+        assert not light.covers(7)
+
+    def test_anchor_only_when_empty(self):
+        chain, light = self.make_synced(3)
+        with pytest.raises(ChainError, match="anchor"):
+            light.anchor_at(Checkpoint(2, "x", 6, 1.0))
+
+    def test_verify_receipt_offline(self):
+        chain, light = self.make_synced(5)
+        receipt = issue_receipt(chain, 2, 1)
+        assert light.verify_receipt(receipt)
+        # A receipt for an uncovered height cannot be vouched for.
+        tall = issue_receipt(chain, 4, 0)
+        short = HeaderChain()
+        short.extend(chain.headers(0, 3))
+        assert not short.verify_receipt(tall)
+
+    def test_verify_receipt_rejects_wrong_coordinates(self):
+        chain, light = self.make_synced(5)
+        receipt = issue_receipt(chain, 2, 1)
+        forged = dataclasses.replace(receipt, block_hash="0" * 64)
+        assert not light.verify_receipt(forged)
+        forged = dataclasses.replace(receipt, leaf_count=4)
+        assert not light.verify_receipt(forged)
+
+
+class TestSyncClient:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            SyncPolicy(batch_size=0)
+        with pytest.raises(ConfigError):
+            SyncPolicy(interval_s=0.0)
+        assert SyncPolicy(batch_size=8).effective_interval_s(1.0) == 8.0
+        assert SyncPolicy(batch_size=8, interval_s=2.5).effective_interval_s() == 2.5
+
+    def test_apply_response_tracks_progress_and_delay(self):
+        chain = Blockchain()
+        grow(chain, 6)
+        client = LedgerSyncClient(SyncPolicy(batch_size=4))
+        start, count = client.next_request()
+        assert (start, count) == (0, 4)
+        behind = client.apply_response(chain.headers(0, 4), chain.height, None, 10.0)
+        assert behind
+        assert client.chain.height == 4
+        assert client.stats.headers_applied == 4
+        assert client.stats.delay_samples == 4
+        assert client.stats.delay_max_s == 10.0  # block 0 created at t=0
+        behind = client.apply_response(chain.headers(4, 4), chain.height, None, 11.0)
+        assert not behind
+        assert client.chain.height == 6
+
+    def test_bad_batch_counted_not_fatal(self):
+        chain = Blockchain()
+        grow(chain, 4)
+        client = LedgerSyncClient(SyncPolicy(batch_size=4))
+        client.apply_response(chain.headers(2, 2), chain.height, None, 1.0)
+        assert client.stats.batches_rejected == 1
+        assert client.chain.height == 0
+
+
+class TestCheckpointPruning:
+    def test_pruning_requires_checkpointing(self):
+        with pytest.raises(ChainError, match="checkpoint"):
+            Blockchain(pruning_depth=5)
+
+    def test_checkpoints_committed_on_interval(self):
+        chain = Blockchain(checkpoint_interval=3)
+        grow(chain, 7)
+        assert [c.height for c in chain.checkpoints] == [3, 6]
+        assert chain.checkpoints[-1].record_count == 18
+        assert chain.latest_checkpoint.height == 6
+
+    def test_pruned_chain_stays_small(self):
+        chain = Blockchain(checkpoint_interval=10, pruning_depth=5)
+        grow(chain, 100, records_per_block=2)
+        assert chain.height == 100
+        assert chain.pruned_below == 95  # min(100 - 5, checkpoint at 100)
+        assert chain.retained_blocks == 5
+        with pytest.raises(PrunedBlockError):
+            chain.get(0)
+        with pytest.raises(PrunedBlockError):
+            chain.get(94)
+        chain.get(95)  # retained bodies still served
+
+    def test_validate_and_audit_clean_after_pruning(self):
+        chain = Blockchain(checkpoint_interval=10, pruning_depth=5)
+        grow(chain, 40)
+        assert chain.pruned_below > 0
+        chain.validate()
+        assert audit_chain(chain).clean
+
+    def test_receipts_against_pruned_blocks_still_verify(self):
+        chain = Blockchain(checkpoint_interval=10, pruning_depth=5)
+        grow(chain, 5)
+        receipt = issue_receipt(chain, 2, 0)
+        grow(chain, 35)
+        assert receipt.block_height < chain.pruned_below
+        # The receipt survives a JSON round trip (devices get it wired).
+        receipt = receipt_from_dict(receipt_to_dict(receipt))
+        # Against the pruned chain's retained header view...
+        assert receipt.verify(chain)
+        # ...and fully offline against a lightweight client.
+        light = HeaderChain()
+        light.extend(chain.headers(0, 40))
+        assert light.verify_receipt(receipt)
+        # But issuing a NEW receipt for a pruned block is impossible.
+        with pytest.raises(ChainError, match="pruned"):
+            issue_receipt(chain, 2, 0)
+
+    def test_records_for_device_uses_retained_bodies(self):
+        chain = Blockchain(checkpoint_interval=10, pruning_depth=5)
+        grow(chain, 30)
+        records = chain.records_for_device("u1")
+        # Only retained blocks can contribute record bodies.
+        assert len(records) == chain.retained_blocks * 3
+        assert chain.records_total == 30 * 3
+
+    def test_locate_record(self):
+        chain = Blockchain()
+        grow(chain, 4)
+        assert chain.locate_record("u1", 5) == (1, 2)
+        assert chain.locate_record("u1", 999) is None
+        assert chain.locate_record("nobody", 0) is None
+
+
+class TestJsonlRefresh:
+    def test_second_reader_sees_appends(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        writer = Blockchain(JsonlBlockStore(path))
+        reader = Blockchain(JsonlBlockStore(path))
+        grow(writer, 3)
+        # The reader's store refreshes from the file on access.
+        assert reader.height == 3
+        reader.validate()
+        assert audit_chain(reader).clean
+
+    def test_reader_follows_continued_growth(self, tmp_path):
+        path = tmp_path / "chain.jsonl"
+        writer = Blockchain(JsonlBlockStore(path))
+        grow(writer, 2)
+        reader = Blockchain(JsonlBlockStore(path))
+        assert reader.height == 2
+        grow(writer, 3)
+        assert reader.height == 5
+        assert reader.tip_hash == writer.tip_hash
+
+
+class TestLedgerSpec:
+    def test_round_trip(self):
+        spec = LedgerSpec(
+            sync_enabled=True, header_batch_size=8, sync_interval_s=2.0,
+            checkpoint_interval_blocks=20, pruning_depth_blocks=10,
+        )
+        assert LedgerSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_round_trip_through_scenario(self):
+        spec = scaled_spec(1, 1, seed=3)
+        data = json.loads(spec.to_json())
+        assert data["ledger"]["sync_enabled"] is False
+        again = ScenarioSpec.from_dict(data)
+        assert again == spec
+        # Old documents without a ledger block still parse to defaults.
+        del data["ledger"]
+        assert ScenarioSpec.from_dict(data).ledger == LedgerSpec()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            LedgerSpec(header_batch_size=0)
+        with pytest.raises(ConfigError):
+            LedgerSpec(sync_interval_s=-1.0)
+        with pytest.raises(ConfigError, match="checkpoint"):
+            LedgerSpec(pruning_depth_blocks=5)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="ledger"):
+            LedgerSpec.from_dict({"sync_enabled": True, "bogus": 1})
+
+
+def build_sync_world(batch=4, *, checkpointing=False, seed=23, enter_devices=True):
+    ledger = LedgerSpec(
+        sync_enabled=True,
+        header_batch_size=batch,
+        checkpoint_interval_blocks=10 if checkpointing else 0,
+        pruning_depth_blocks=5 if checkpointing else 0,
+    )
+    spec = dataclasses.replace(
+        scaled_spec(
+            1, 2, seed=seed,
+            transport=TransportSpec(kind="direct"),
+            enter_devices=enter_devices,
+        ),
+        name="sync-e2e",
+        ledger=ledger,
+    )
+    return build(spec)
+
+
+class TestEndToEndSync:
+    def test_devices_follow_the_chain(self):
+        scenario = build_sync_world(batch=4)
+        scenario.simulator.run_until(30.0)
+        chain = scenario.chain
+        assert chain.height > 10
+        for device in scenario.devices.values():
+            light = device.header_chain
+            assert light is not None
+            assert light.height > 0
+            stats = device.sync_stats
+            assert stats.requests_sent > 0
+            assert stats.headers_applied == light.header_count
+            assert stats.batches_rejected == 0
+            # Every held header is the ledger's own.
+            for height in range(light.base, light.height):
+                assert (
+                    light.header_at(height).block_hash
+                    == chain.header_at(height).block_hash
+                )
+
+    def test_receipt_verifies_offline_against_synced_headers(self):
+        scenario = build_sync_world(batch=4)
+        scenario.simulator.run_until(30.0)
+        device = next(iter(scenario.devices.values()))
+        sequence = sorted(device.acked_sequences)[0]
+        device.request_receipt(sequence)
+        scenario.simulator.run_until(32.0)
+        receipt = device.receipts[sequence]
+        assert receipt is not None
+        verified = scenario.context.tracer.by_category("device.receipt_verified")
+        assert any(
+            r.detail.get("offline") and r.detail.get("sequence") == sequence
+            for r in verified
+        )
+
+    def test_late_device_anchors_at_checkpoint(self):
+        # A device entering a mature network must not replay history:
+        # the aggregator offers its newest checkpoint and the client
+        # anchors there instead of syncing from genesis.
+        scenario = build_sync_world(batch=4, checkpointing=True, enter_devices=False)
+        sim = scenario.simulator
+        scenario.enter_at("dev-0-0", "net-0", 0.0)
+        scenario.enter_at("dev-0-1", "net-0", 40.0)
+        sim.run_until(40.0)
+        assert scenario.chain.latest_checkpoint is not None
+        late = scenario.device("dev-0-1")
+        sim.run_until(60.0)
+        stats = late.sync_stats
+        assert stats.checkpoint_anchors == 1
+        light = late.header_chain
+        assert light.anchor is not None
+        assert light.base == light.anchor.height > 0
+        assert light.height > light.base
+
+    def test_disabled_by_default(self):
+        spec = scaled_spec(1, 1, seed=5, transport=TransportSpec(kind="direct"))
+        scenario = build(spec)
+        scenario.simulator.run_until(5.0)
+        device = next(iter(scenario.devices.values()))
+        assert device.header_chain is None
+
+
+class TestBenchSchema:
+    def good_doc(self):
+        point = {
+            "batch_size": 1, "sync_interval_s": 1.0, "blocks_produced": 10,
+            "headers_per_device": 10.0, "sync_bytes_per_device": 100.0,
+            "bytes_per_block_per_device": 10.0, "mean_delay_s": 0.5,
+            "max_delay_s": 1.0, "receipts_verified_offline": 2,
+            "receipts_requested": 2,
+        }
+        return {
+            "suite": "ledger",
+            "configs": {
+                "full": {
+                    "delay_vs_traffic": [
+                        {**point, "batch_size": b} for b in (1, 4, 16)
+                    ],
+                    "pruning": {
+                        "reports": 1_000_000, "blocks_total": 1000,
+                        "blocks_retained": 50, "retained_fraction": 0.05,
+                        "receipts_sampled": 40, "receipts_verified": 40,
+                    },
+                }
+            },
+        }
+
+    def test_committed_artifact_is_valid(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parents[1] / "BENCH_ledger.json"
+        assert path.exists(), "BENCH_ledger.json must be committed"
+        assert validate_bench(json.loads(path.read_text())) == []
+
+    def test_good_document_passes(self):
+        assert validate_bench(self.good_doc()) == []
+
+    def test_violations_caught(self):
+        doc = self.good_doc()
+        doc["configs"]["full"]["pruning"]["retained_fraction"] = 0.5
+        assert any("retained_fraction" in p for p in validate_bench(doc))
+
+        doc = self.good_doc()
+        doc["configs"]["full"]["pruning"]["receipts_verified"] = 39
+        assert any("receipts" in p for p in validate_bench(doc))
+
+        doc = self.good_doc()
+        for point in doc["configs"]["full"]["delay_vs_traffic"]:
+            point["batch_size"] = 4
+        assert any("distinct" in p for p in validate_bench(doc))
+
+        doc = self.good_doc()
+        del doc["configs"]["full"]["pruning"]
+        assert any("pruning" in p for p in validate_bench(doc))
+
+        assert validate_bench([]) == ["document is not an object"]
+        assert any("suite" in p for p in validate_bench({"suite": "x", "configs": {}}))

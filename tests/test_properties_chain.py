@@ -58,6 +58,53 @@ class TestMerkleProperties:
         assert MerkleTree(record_list).root == MerkleTree(record_list).root
 
     @given(records)
+    def test_every_proof_verifies_with_leaf_count(self, record_list):
+        # The leaf-count-bound check (the CVE-2012-2459 guard) must not
+        # reject any honest proof at any index, odd or even leaf count.
+        tree = MerkleTree(record_list)
+        n = len(record_list)
+        for i, record in enumerate(record_list):
+            assert MerkleTree.verify_proof(
+                record, tree.proof(i), tree.root, leaf_count=n
+            )
+
+    @given(records, st.integers(min_value=0, max_value=11))
+    def test_wrong_length_proof_rejected(self, record_list, index):
+        if len(record_list) < 2:
+            return
+        index %= len(record_list)
+        tree = MerkleTree(record_list)
+        proof = tree.proof(index)
+        truncated = proof[:-1]
+        assert not MerkleTree.verify_proof(
+            record_list[index], truncated, tree.root, leaf_count=len(record_list)
+        )
+
+    def test_forged_duplicate_rejected(self):
+        # CVE-2012-2459: duplicating the last leaf yields the same root,
+        # so an unbound proof "proves" a 4th record in a 3-record block.
+        # Binding the leaf count kills the forgery.
+        a, b, c = {"r": "A"}, {"r": "B"}, {"r": "C"}
+        t3 = MerkleTree([a, b, c])
+        t4 = MerkleTree([a, b, c, c])
+        assert t3.root == t4.root
+        forged = t4.proof(3)
+        assert MerkleTree.verify_proof(c, forged, t3.root)
+        assert not MerkleTree.verify_proof(c, forged, t3.root, leaf_count=3)
+        assert MerkleTree.verify_proof(c, t4.proof(3), t4.root, leaf_count=4)
+
+    def test_round_trip_every_index_at_small_counts(self):
+        for n in (1, 2, 3, 4, 5, 7, 8):
+            leaves = [{"i": i} for i in range(n)]
+            tree = MerkleTree(leaves)
+            for i in range(n):
+                proof = tree.proof(i)
+                assert len(proof) == MerkleTree.expected_proof_length(n)
+                assert MerkleTree.verify_proof(
+                    leaves[i], proof, tree.root, leaf_count=n
+                )
+
+    @given(records)
     def test_proof_length_logarithmic(self, record_list):
         tree = MerkleTree(record_list)
         n = max(1, len(record_list))

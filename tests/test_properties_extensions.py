@@ -112,6 +112,7 @@ class TestReceiptProperties:
             block_height=receipt.block_height,
             block_hash=receipt.block_hash,
             merkle_root=receipt.merkle_root,
+            leaf_count=receipt.leaf_count,
             record={**receipt.record, "__forged__": 1},
             proof=receipt.proof,
         )

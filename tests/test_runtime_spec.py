@@ -208,6 +208,20 @@ class TestDeterminism:
         assert len(scenario.simulator.spans) > 0
         assert scenario.simulator.profiler is not None
 
+    def test_ledger_defaults_preserve_pinned_digest(self):
+        # A LedgerSpec on every axis' default (sync off, no
+        # checkpoints, no pruning) must build the exact pre-ledger-sync
+        # world: the chainsync subscription draws no randomness and the
+        # sync task never arms.
+        import dataclasses
+
+        from repro.runtime import LedgerSpec
+
+        spec = dataclasses.replace(paper_testbed_spec(seed=7), ledger=LedgerSpec())
+        scenario = build(spec)
+        scenario.run_until(30.0)
+        assert scenario.chain.tip_hash == PAPER_TESTBED_SEED7_DIGEST
+
     def test_same_spec_builds_identical_worlds(self):
         spec = scaled_spec(n_networks=2, devices_per_network=3, seed=11)
         digests = []

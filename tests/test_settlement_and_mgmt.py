@@ -62,6 +62,29 @@ class TestSettlementUnit:
         with pytest.raises(BillingError):
             engine.settle((5.0, 1.0))
 
+    def test_inverted_and_empty_periods_distinguished(self):
+        # Regression: an inverted period used to report "empty
+        # settlement period", hiding a caller bug behind a benign
+        # message; a genuinely empty (zero-length) one is its own error.
+        engine = SettlementEngine(self.make_chain(), FlatTariff(1.0))
+        with pytest.raises(BillingError, match="inverted"):
+            engine.settle((5.0, 1.0))
+        with pytest.raises(BillingError, match="empty"):
+            engine.settle((5.0, 5.0))
+
+    def test_boundary_record_never_settles_twice(self):
+        # Regression for double billing: both period ends used to be
+        # inclusive, so a record at exactly the cut settled in both
+        # adjacent periods.  Periods are half-open [start, end) now.
+        chain = Blockchain()
+        chain.append("agg1", 1.0, [record("agg1", "agg2", 2.0, at=2.0, seq=0)])
+        engine = SettlementEngine(chain, FlatTariff(1.0))
+        first = engine.settle((0.0, 2.0)).owed_by("agg1")
+        second = engine.settle((2.0, 4.0)).owed_by("agg1")
+        assert first + second == pytest.approx(2.0)
+        assert first == pytest.approx(0.0)
+        assert second == pytest.approx(2.0)
+
     def test_home_equals_host_rejected(self):
         chain = Blockchain()
         chain.append("agg1", 1.0, [record("agg1", "agg1", 1.0)])
