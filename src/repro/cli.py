@@ -60,12 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=1,
+        default="1",
         metavar="N",
         help=(
             "run experiments across N worker processes (outputs are "
-            "identical for any N; default: 1)"
+            "identical for any N; 'auto' or 0 detects the usable CPU "
+            "count; default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        metavar="N",
+        help=(
+            "run a --scenario world partitioned across N kernel shards "
+            "('auto' detects the usable CPU count; requires transport "
+            "'direct' for N > 1; output is byte-identical for any N; "
+            "default: the spec's sharding block, i.e. serial)"
         ),
     )
     parser.add_argument(
@@ -79,16 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_scenario_file(path: str, until: float, obs_dir: str | None = None) -> dict:
+def run_scenario_file(
+    path: str,
+    until: float,
+    obs_dir: str | None = None,
+    shards: int | str | None = None,
+) -> dict:
     """Build the spec in ``path``, run it and return the snapshot.
 
     With ``obs_dir``, observability is force-enabled for the run (a
     spec's own ``obs`` block still wins) and the artifact directory is
-    written there.
+    written there.  With ``shards`` (a count or ``"auto"``), the run
+    goes through :func:`~repro.shard.runner.run_sharded` — the snapshot
+    gains a ``sharding`` block but is otherwise the same world, merged
+    back to the serial view.
     """
     from repro.runtime import ObsSpec, ScenarioSpec, build
 
     spec = ScenarioSpec.from_json(Path(path).read_text())
+    if shards is not None or spec.sharding.shards > 1:
+        from repro.shard.runner import run_sharded
+
+        return run_sharded(spec, until, shards, obs_dir=obs_dir).snapshot()
     if obs_dir is None:
         scenario = build(spec)
         scenario.run_until(until)
@@ -103,6 +126,17 @@ def run_scenario_file(path: str, until: float, obs_dir: str | None = None) -> di
     return snapshot
 
 
+def _parse_count(value: str | None, flag: str) -> int | str | None:
+    """``'auto'``/``'0'`` mean autodetect; otherwise a positive count."""
+    if value is None or value == "auto":
+        return value
+    try:
+        count = int(value)
+    except ValueError:
+        raise SystemExit(f"{flag} must be an integer or 'auto', got {value!r}")
+    return "auto" if count == 0 else count
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -111,7 +145,12 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     if args.scenario:
-        snapshot = run_scenario_file(args.scenario, args.until, obs_dir=args.obs_dir)
+        snapshot = run_scenario_file(
+            args.scenario,
+            args.until,
+            obs_dir=args.obs_dir,
+            shards=_parse_count(args.shards, "--shards"),
+        )
         text = json.dumps(snapshot, indent=2, default=str)
         print(text)
         if args.out:
@@ -120,7 +159,12 @@ def main(argv: list[str] | None = None) -> int:
             (out_dir / "scenario_snapshot.json").write_text(text + "\n")
         return 0
     names = args.experiments or None
-    outputs = run_all(names, workers=args.workers, obs_dir=args.obs_dir)
+    workers = _parse_count(args.workers, "--workers")
+    outputs = run_all(
+        names,
+        workers=None if workers == "auto" else workers,
+        obs_dir=args.obs_dir,
+    )
     out_dir = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)

@@ -211,20 +211,25 @@ def _merge_obs(obs_dir: str | Path, selected: list[str]) -> None:
 
 def run_all(
     names: list[str] | None = None,
-    workers: int = 1,
+    workers: int | None = 1,
     obs_dir: str | Path | None = None,
 ) -> dict[str, str]:
     """Run the requested experiments (all by default); returns texts.
 
     ``workers`` > 1 fans the experiments out over a process pool — each
     experiment builds its own world from fixed seeds, so the rendered
-    outputs are identical for any worker count.  Output order follows
-    the request order either way.
+    outputs are identical for any worker count; ``workers=None``
+    autodetects the CPUs this process may be scheduled on.  Output
+    order follows the request order either way.
 
     ``obs_dir`` additionally captures observability artifacts: each
     experiment writes ``obs_dir/<name>/`` and those directories are
     merged into ``obs_dir`` itself in request order.
     """
+    if workers is None:
+        from repro.parallel import available_cpus
+
+        workers = available_cpus()
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
     selected = list(EXPERIMENTS) if names is None else names

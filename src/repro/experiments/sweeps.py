@@ -124,7 +124,7 @@ def sweep(
     run: RunFn,
     points: list[dict[str, Any]],
     columns: list[str] | None = None,
-    workers: int = 1,
+    workers: int | None = 1,
     obs_dir: str | Path | None = None,
 ) -> tuple[list[str], list[list[Any]]]:
     """Run ``run(**point)`` for every point; tabulate parameters+results.
@@ -134,8 +134,9 @@ def sweep(
     ``columns`` restricts/orders the result columns (default: keys of
     the first result, sorted).  ``workers`` > 1 fans points out over a
     process pool (``run`` must then be picklable, i.e. module-level);
-    results are collected in point order, so the table is identical for
-    any worker count.  A point whose run raises (or whose worker dies)
+    ``workers=None`` autodetects the CPUs this process may be scheduled
+    on.  Results are collected in point order, so the table is
+    identical for any worker count.  A point whose run raises (or whose worker dies)
     aborts the sweep with an :class:`ExperimentError` naming the point.
 
     ``obs_dir`` captures observability artifacts: each point writes
@@ -144,6 +145,12 @@ def sweep(
     """
     if not points:
         raise ExperimentError("sweep needs at least one point")
+    if workers is None:
+        # Autodetect: the CPUs this process may actually run on (an
+        # affinity-restricted container is narrower than cpu_count).
+        from repro.parallel import available_cpus
+
+        workers = available_cpus()
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
     param_names = list(points[0])

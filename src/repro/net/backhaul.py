@@ -156,10 +156,19 @@ class BackhaulMesh(Process):
         self._graph.add_node(aggregator_id)
         self._handlers[aggregator_id] = handler
 
+    def _knows(self, aggregator_id: AggregatorId) -> bool:
+        """Whether this mesh can route to ``aggregator_id``.
+
+        The serial mesh only knows aggregators with a local handler; the
+        shard proxy widens this to cover remote (other-shard) nodes so
+        the full spec topology can be wired on every shard.
+        """
+        return aggregator_id in self._handlers
+
     def connect(self, link: BackhaulLink) -> None:
         """Add one mesh link."""
         for end in (link.a, link.b):
-            if end not in self._handlers:
+            if not self._knows(end):
                 raise BackhaulError(f"{end} is not on the mesh")
         self._graph.add_edge(link.a, link.b, latency=link.latency_s)
 
@@ -176,6 +185,53 @@ class BackhaulMesh(Process):
             total += self._graph.edges[a, b]["latency"]
         total += self._per_hop_cost_s * max(0, len(path) - 2)
         return total
+
+    def _admit(
+        self, source: AggregatorId, destination: AggregatorId, span: Any
+    ) -> tuple[float, int]:
+        """Fault gauntlet shared by :meth:`send` and the shard proxy.
+
+        Returns ``(latency, copies)``; ``copies == 0`` means the message
+        was dropped and the drop bookkeeping (counter, trace, span) has
+        already happened.  A severed drop reports latency ``0.0``, an
+        injector drop the path latency — matching what :meth:`send` has
+        always returned in each case.
+        """
+        if self._severed(source, destination):
+            self._messages_dropped += 1
+            self.count("messages_dropped")
+            self.trace(
+                "backhaul.drop_severed", source=str(source), destination=str(destination)
+            )
+            if span is not None:
+                self._spans.finish(span, "dropped", reason="severed")
+            return 0.0, 0
+        latency = self.latency_s(source, destination)
+        copies = 1
+        if self._link_injectors and source != destination:
+            path = nx.shortest_path(self._graph, source, destination, weight="latency")
+            for a, b in zip(path, path[1:]):
+                injector = self._link_injectors.get(frozenset((a, b)))
+                if injector is None:
+                    continue
+                verdict = injector.message_verdict()
+                if verdict in (FaultAction.DROP, FaultAction.CORRUPT):
+                    self._messages_dropped += 1
+                    self.count("messages_dropped")
+                    self.trace(
+                        "backhaul.drop_fault",
+                        source=str(source),
+                        destination=str(destination),
+                        verdict=verdict.value,
+                    )
+                    if span is not None:
+                        self._spans.finish(span, "dropped", reason=verdict.value)
+                    return latency, 0
+                if verdict is FaultAction.DELAY:
+                    latency += injector.extra_delay_s
+                elif verdict is FaultAction.DUPLICATE:
+                    copies = 2
+        return latency, copies
 
     def send(self, source: AggregatorId, destination: AggregatorId, payload: Any) -> float:
         """Deliver ``payload`` to ``destination``; returns the latency.
@@ -197,40 +253,9 @@ class BackhaulMesh(Process):
                 source=source.name,
                 destination=destination.name,
             )
-        if self._severed(source, destination):
-            self._messages_dropped += 1
-            self.count("messages_dropped")
-            self.trace(
-                "backhaul.drop_severed", source=str(source), destination=str(destination)
-            )
-            if span is not None:
-                self._spans.finish(span, "dropped", reason="severed")
-            return 0.0
-        latency = self.latency_s(source, destination)
-        copies = 1
-        if self._link_injectors and source != destination:
-            path = nx.shortest_path(self._graph, source, destination, weight="latency")
-            for a, b in zip(path, path[1:]):
-                injector = self._link_injectors.get(frozenset((a, b)))
-                if injector is None:
-                    continue
-                verdict = injector.message_verdict()
-                if verdict in (FaultAction.DROP, FaultAction.CORRUPT):
-                    self._messages_dropped += 1
-                    self.count("messages_dropped")
-                    self.trace(
-                        "backhaul.drop_fault",
-                        source=str(source),
-                        destination=str(destination),
-                        verdict=verdict.value,
-                    )
-                    if span is not None:
-                        self._spans.finish(span, "dropped", reason=verdict.value)
-                    return latency
-                if verdict is FaultAction.DELAY:
-                    latency += injector.extra_delay_s
-                elif verdict is FaultAction.DUPLICATE:
-                    copies = 2
+        latency, copies = self._admit(source, destination, span)
+        if copies == 0:
+            return latency
         self._messages_sent += 1
         self.count("messages_sent")
         self.trace("backhaul.send", source=str(source), destination=str(destination))

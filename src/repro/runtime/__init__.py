@@ -11,7 +11,7 @@
   the experiment harnesses drive.
 """
 
-from repro.runtime.build import add_device, add_network, build
+from repro.runtime.build import add_device, add_network, build, build_partial
 from repro.runtime.context import SimContext, coerce_context
 from repro.runtime.scenario import Scenario
 from repro.runtime.spec import (
@@ -23,6 +23,7 @@ from repro.runtime.spec import (
     ObsSpec,
     ProfileSpec,
     ScenarioSpec,
+    ShardSpec,
     TransportSpec,
 )
 
@@ -39,7 +40,9 @@ __all__ = [
     "LedgerSpec",
     "TransportSpec",
     "ObsSpec",
+    "ShardSpec",
     "build",
+    "build_partial",
     "add_network",
     "add_device",
 ]

@@ -480,6 +480,65 @@ class LedgerSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """Sharded-execution configuration.
+
+    Default **serial** (``shards=1``): a spec without a ``sharding``
+    block builds and runs exactly as before this layer existed.
+
+    Attributes:
+        shards: Number of kernel shards the fleet is partitioned into.
+            Each shard owns a subset of the networks (aggregator +
+            devices + shard-local transport); the backhaul mesh is the
+            only cross-shard boundary.
+        window_s: Optional synchronization-window override.  The
+            effective window is always clamped to the conservative
+            lookahead (the minimum cross-shard backhaul latency), so
+            this can only *shorten* windows, never break causality.
+        assignment: Explicit per-shard network groups, in shard order
+            (e.g. ``(("net-0", "net-2"), ("net-1",))``).  Empty means
+            round-robin over the declaration order.
+    """
+
+    shards: int = 1
+    window_s: float | None = None
+    assignment: tuple[tuple[str, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ConfigError(
+                f"shard window must be positive, got {self.window_s}"
+            )
+        if self.assignment and len(self.assignment) != self.shards:
+            raise ConfigError(
+                f"assignment has {len(self.assignment)} groups for "
+                f"{self.shards} shards"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "shards": self.shards,
+            "window_s": self.window_s,
+            "assignment": [list(group) for group in self.assignment],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShardSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(data, {"shards", "window_s", "assignment"}, "sharding")
+        return cls(
+            shards=data.get("shards", 1),
+            window_s=data.get("window_s"),
+            assignment=tuple(
+                tuple(group) for group in data.get("assignment", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -580,6 +639,8 @@ class ScenarioSpec:
             :class:`ObsSpec`).
         ledger: Ledger sync / checkpoint / pruning configuration
             (default off — see :class:`LedgerSpec`).
+        sharding: Sharded-execution configuration (default serial —
+            see :class:`ShardSpec`).
     """
 
     networks: tuple[NetworkSpec, ...]
@@ -593,6 +654,7 @@ class ScenarioSpec:
     faults: tuple[FaultSpec, ...] = ()
     obs: ObsSpec = field(default_factory=ObsSpec)
     ledger: LedgerSpec = field(default_factory=LedgerSpec)
+    sharding: ShardSpec = field(default_factory=ShardSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -617,6 +679,27 @@ class ScenarioSpec:
         for a, b in self.mesh.resolve_links(network_names):
             if a not in known or b not in known:
                 raise ConfigError(f"mesh link ({a!r}, {b!r}) references unknown network")
+        if self.sharding.shards > len(self.networks):
+            raise ConfigError(
+                f"spec has {len(self.networks)} aggregators but "
+                f"{self.sharding.shards} shards requested; a shard "
+                "without an aggregator would run empty"
+            )
+        assigned = [m for group in self.sharding.assignment for m in group]
+        if len(set(assigned)) != len(assigned):
+            raise ConfigError(
+                f"duplicate networks in shard assignment: {assigned}"
+            )
+        for member in assigned:
+            if member not in known:
+                raise ConfigError(
+                    f"shard assignment references unknown network {member!r}"
+                )
+        if assigned and set(assigned) != known:
+            raise ConfigError(
+                "shard assignment must cover every network; missing "
+                f"{sorted(known - set(assigned))}"
+            )
         fault_names = [f.name for f in self.faults]
         if len(set(fault_names)) != len(fault_names):
             raise ConfigError(f"duplicate fault names in {fault_names}")
@@ -651,6 +734,7 @@ class ScenarioSpec:
             "faults": [f.to_dict() for f in self.faults],
             "obs": self.obs.to_dict(),
             "ledger": self.ledger.to_dict(),
+            "sharding": self.sharding.to_dict(),
         }
 
     @classmethod
@@ -659,7 +743,7 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "transport", "faults", "obs", "ledger"},
+             "mesh", "transport", "faults", "obs", "ledger", "sharding"},
             "scenario",
         )
         return cls(
@@ -681,6 +765,11 @@ class ScenarioSpec:
                 LedgerSpec.from_dict(data["ledger"])
                 if "ledger" in data
                 else LedgerSpec()
+            ),
+            sharding=(
+                ShardSpec.from_dict(data["sharding"])
+                if "sharding" in data
+                else ShardSpec()
             ),
         )
 

@@ -1,0 +1,124 @@
+"""Deterministic merges from per-shard snapshots to the serial view.
+
+Each merge here is a pure function of the shard results (taken in shard
+index order), so the output is independent of how the shards were
+scheduled — the foundation of the byte-identical digest contract.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Sequence
+
+from repro.chain.ledger import Blockchain
+from repro.errors import ConfigError
+from repro.monitoring.timeseries import SeriesBank
+from repro.runtime.spec import LedgerSpec
+
+# One shard's recorded series for one aggregator:
+# (name, unit, times, values) per series, bank creation order.
+SeriesPart = Sequence[tuple[str, str, Sequence[float], Sequence[float]]]
+
+
+def merge_chain_ops(
+    ops_by_shard: Sequence[Sequence[tuple[float, int, list]]],
+    aggregator_names: Sequence[str],
+    *,
+    ledger: LedgerSpec | None = None,
+) -> Blockchain:
+    """Rebuild the serial chain from per-shard append logs.
+
+    A stable k-way merge by ``(timestamp, declaration_index)`` recovers
+    the serial append order: same-instant flushes happen in declaration
+    order on the serial kernel (aggregator duties are armed in build
+    order and re-arm immediately after firing), and one aggregator's
+    ops live on exactly one shard, already in its local time order.
+    Replaying the merged log through a fresh :class:`Blockchain`
+    reproduces every height / previous-hash link, so the tip hash is
+    the serial digest.
+    """
+    merged = heapq.merge(*ops_by_shard, key=lambda op: (op[0], op[1]))
+    if ledger is None:
+        ledger = LedgerSpec()
+    chain = Blockchain(
+        checkpoint_interval=ledger.checkpoint_interval_blocks or None,
+        pruning_depth=(
+            ledger.pruning_depth_blocks if ledger.pruning_depth_blocks > 0 else None
+        ),
+    )
+    for timestamp, declaration_index, records in merged:
+        chain.append(aggregator_names[declaration_index], timestamp, records)
+    return chain
+
+
+def merge_counter_snapshots(snapshots: Iterable[dict[str, int]]) -> dict[str, int]:
+    """Sum per-shard counter snapshots; keys sorted like
+    :meth:`~repro.monitoring.counters.CounterBank.snapshot`."""
+    totals: dict[str, int] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def merge_series_parts(parts: Sequence[SeriesPart]) -> SeriesBank:
+    """Merge several shards' recordings of (possibly) the same series.
+
+    Series names keep first-seen order across the parts; a name
+    appearing in several parts has its samples interleaved by
+    ``(time, part_index, position)`` — deterministic, and stable for
+    the common disjoint-time case.  Conflicting concrete units raise
+    :class:`~repro.errors.ConfigError` (via
+    :meth:`~repro.monitoring.timeseries.SeriesBank.series`).
+    """
+    bank = SeriesBank()
+    points: dict[str, list[tuple[float, int, int, float]]] = {}
+    for part_index, part in enumerate(parts):
+        for name, unit, times, values in part:
+            bank.series(name, unit)
+            bucket = points.setdefault(name, [])
+            for position, (time, value) in enumerate(zip(times, values)):
+                bucket.append((time, part_index, position, value))
+    for name in bank.names:
+        series = bank[name]
+        for time, _part, _pos, value in sorted(points.get(name, ())):
+            series.append(time, value)
+    return bank
+
+
+def merge_aggregator_series(
+    maps: Sequence[dict[str, SeriesPart]],
+) -> dict[str, SeriesBank]:
+    """Combine per-shard ``{aggregator: series part}`` maps.
+
+    Aggregators are disjoint across shards by construction; the same
+    name appearing twice means two shards both claim to own it, which
+    is a partitioning bug worth failing loudly on.  Output keys follow
+    shard order then each shard's own order — for a round-robin plan of
+    a declaration-ordered spec this is *not* declaration order, so
+    consumers needing that (monitoring export) sort by spec order.
+    """
+    merged: dict[str, SeriesBank] = {}
+    for shard_index, part_map in enumerate(maps):
+        for name, part in part_map.items():
+            if name in merged:
+                raise ConfigError(
+                    f"aggregator {name!r} reported by two shards "
+                    f"(second: shard {shard_index})"
+                )
+            merged[name] = merge_series_parts([part])
+    return merged
+
+
+def merge_summaries(summaries: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Union per-shard ``{name: stats}`` maps (devices or aggregators).
+
+    Keys are disjoint across shards; collisions raise.
+    """
+    merged: dict[str, Any] = {}
+    for summary in summaries:
+        for name, stats in summary.items():
+            if name in merged:
+                raise ConfigError(f"{name!r} reported by two shards")
+            merged[name] = stats
+    return merged

@@ -1,0 +1,139 @@
+"""Fleet partitioning and the conservative lookahead window.
+
+A shard owns whole networks: an aggregator, every device homed on it,
+and a shard-local transport.  Only backhaul messages cross shards, so
+the minimum latency over cross-shard mesh links is a safe lookahead —
+a message sent inside window ``[kW, (k+1)W)`` with ``W <= min latency``
+cannot arrive before ``(k+1)W``, and exchanging outboxes at each window
+boundary preserves causality exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.runtime.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partitioning decision :func:`partition` produces.
+
+    Attributes:
+        groups: Per-shard network-name groups, shard order; within each
+            group the spec's declaration order is preserved.
+        window_s: Conservative synchronization window, or ``None`` when
+            no mesh link crosses a shard boundary (the shards never
+            exchange messages, so one window spans the whole run).
+    """
+
+    groups: tuple[tuple[str, ...], ...]
+    window_s: float | None
+
+    @property
+    def shards(self) -> int:
+        """Number of shards."""
+        return len(self.groups)
+
+    def shard_of(self, network: str) -> int:
+        """Shard index owning ``network``."""
+        for index, group in enumerate(self.groups):
+            if network in group:
+                return index
+        raise ConfigError(f"network {network!r} is not in the shard plan")
+
+
+def _cross_shard_lookahead(
+    spec: ScenarioSpec, groups: tuple[tuple[str, ...], ...]
+) -> float | None:
+    """Minimum latency over mesh links whose ends live on different shards."""
+    owner = {name: index for index, group in enumerate(groups) for name in group}
+    lookahead: float | None = None
+    for a, b in spec.mesh.resolve_links(spec.network_names):
+        if owner[a] == owner[b]:
+            continue
+        # Every spec link shares spec.mesh.latency_s today, but routed
+        # paths can only be >= the direct link, so min over direct
+        # cross-shard links stays conservative even for multi-hop routes.
+        if lookahead is None or spec.mesh.latency_s < lookahead:
+            lookahead = spec.mesh.latency_s
+    return lookahead
+
+
+def partition(
+    spec: ScenarioSpec,
+    shards: int | None = None,
+    *,
+    assignment: tuple[tuple[str, ...], ...] | None = None,
+    window_s: float | None = None,
+) -> ShardPlan:
+    """Assign every network (and thereby its devices) to a shard.
+
+    Args:
+        spec: The world to partition.
+        shards: Shard count; defaults to ``spec.sharding.shards``.
+        assignment: Explicit per-shard groups; defaults to
+            ``spec.sharding.assignment`` or round-robin over the
+            declaration order.
+        window_s: Requested window; defaults to
+            ``spec.sharding.window_s``.  Always clamped to the
+            conservative lookahead — a request can shorten windows but
+            never break causality.
+    """
+    names = spec.network_names
+    if shards is None:
+        shards = spec.sharding.shards
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards > len(names):
+        raise ConfigError(
+            f"spec has {len(names)} aggregators but {shards} shards "
+            "requested; a shard without an aggregator would run empty"
+        )
+    if assignment is None:
+        assignment = spec.sharding.assignment or None
+    if assignment is None:
+        groups = tuple(
+            tuple(names[i] for i in range(index, len(names), shards))
+            for index in range(shards)
+        )
+    else:
+        if len(assignment) != shards:
+            raise ConfigError(
+                f"assignment has {len(assignment)} groups for {shards} shards"
+            )
+        known = set(names)
+        seen: set[str] = set()
+        for index, group in enumerate(assignment):
+            if not group:
+                raise ConfigError(f"shard {index} owns no aggregators")
+            for member in group:
+                if member not in known:
+                    raise ConfigError(
+                        f"shard assignment references unknown network {member!r}"
+                    )
+                if member in seen:
+                    raise ConfigError(
+                        f"network {member!r} assigned to two shards"
+                    )
+                seen.add(member)
+        missing = known - seen
+        if missing:
+            raise ConfigError(
+                f"shard assignment misses networks: {sorted(missing)}"
+            )
+        groups = tuple(tuple(group) for group in assignment)
+
+    lookahead = _cross_shard_lookahead(spec, groups)
+    if window_s is None:
+        window_s = spec.sharding.window_s
+    if window_s is not None and window_s <= 0:
+        raise ConfigError(f"shard window must be positive, got {window_s}")
+    if lookahead is None:
+        effective = None if window_s is None else window_s
+    elif window_s is None:
+        effective = lookahead
+    else:
+        effective = min(window_s, lookahead)
+    return ShardPlan(groups=groups, window_s=effective)

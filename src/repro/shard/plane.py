@@ -1,0 +1,49 @@
+"""The cross-shard message plane's wire records.
+
+Everything here must pickle: the multi-process runner ships these
+objects over :class:`multiprocessing.Pipe` between the parent router and
+the shard workers.  Protocol payloads are plain frozen dataclasses and
+:class:`~repro.ids.AggregatorId`/:class:`~repro.ids.DeviceId` are
+name-derived value types, so the default pickling is both cheap and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ids import AggregatorId
+
+# Sort key for absorbing a window's inbound batch: primary the arrival
+# time, then the send time, then (source shard, per-shard sequence) as a
+# total deterministic tiebreak that no interleaving of shard execution
+# can perturb.
+def delivery_order(message: "RemoteMessage") -> tuple[float, float, int, int]:
+    """Deterministic absorb order for one window's inbound messages."""
+    return (message.deliver_at, message.sent_at, message.source_shard, message.seq)
+
+
+@dataclass(frozen=True, slots=True)
+class RemoteMessage:
+    """One backhaul message crossing a shard boundary.
+
+    Attributes:
+        deliver_at: Absolute arrival time (send time + mesh latency);
+            always lands in a *later* window than the send thanks to the
+            conservative lookahead.
+        sent_at: Absolute send time on the source shard.
+        source_shard: Index of the sending shard.
+        seq: Per-source-shard monotonic sequence number.
+        source: Sending aggregator.
+        destination: Receiving aggregator (owned by another shard).
+        payload: The protocol message, verbatim.
+    """
+
+    deliver_at: float
+    sent_at: float
+    source_shard: int
+    seq: int
+    source: AggregatorId
+    destination: AggregatorId
+    payload: Any

@@ -1,0 +1,325 @@
+"""Sharded-execution tests.
+
+Covers the sharding contract end to end:
+
+* kernel — ``run_window`` executes strictly below the boundary and
+  parks the clock exactly on it,
+* partitioning — round-robin and explicit assignments, the spec-level
+  and partitioner-level "more shards than aggregators" guards, and the
+  conservative window (always <= the minimum cross-shard backhaul
+  latency; a requested window can only shorten it),
+* determinism — the pinned seed-7 reference digest, counters, summary
+  maps and monitoring CSV exports are byte-identical for ``--shards``
+  in {1, 2, 4}, in-process and across worker processes, and for any
+  randomized assignment (hypothesis),
+* the cross-shard message plane — a roaming membership-verify round
+  trip crosses the pipe-less plane and comes back,
+* the CLI ``--shards`` flag.
+"""
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import BackhaulError, ConfigError, SimulationError
+from repro.ids import AggregatorId, DeviceId
+from repro.runtime import ScenarioSpec, ShardSpec, build
+from repro.runtime.spec import MeshSpec, TransportSpec
+from repro.shard import ShardEngine, ShardPlan, partition, run_sharded
+from repro.shard.runner import _boundaries, _route
+from repro.sim.kernel import Simulator
+from repro.workloads.scenarios import scaled_spec
+
+# Merged ledger tip hash of the seed-7 reference fleet below run to
+# t=4.0.  Captured on the serial path; every shard count, execution
+# mode and assignment must reproduce it bit for bit.
+SHARD_REFERENCE_SEED7_DIGEST = (
+    "92af85f1aa32d39416f84e218092b0503bcce32e1c032974432816d7fd2f3cb0"
+)
+
+# Fast-join direct transport: the default scan/assoc/connect latencies
+# (~5.8 s) would leave a short reference run with an empty ledger.
+FAST_DIRECT = TransportSpec(kind="direct", scan_s=0.05, assoc_s=0.05, connect_s=0.02)
+
+
+def reference_spec(seed: int = 7, mesh_latency_s: float = 0.05) -> ScenarioSpec:
+    """4 networks x 3 devices, direct transport, sharding-friendly mesh.
+
+    The 50 ms mesh latency keeps the conservative window count small
+    (80 windows for a 4 s run) so shard tests stay fast.
+    """
+    spec = scaled_spec(4, 3, seed=seed, transport=FAST_DIRECT)
+    return dataclasses.replace(spec, mesh=MeshSpec(latency_s=mesh_latency_s))
+
+
+class TestRunWindow:
+    def test_strictly_before_boundary(self):
+        sim = Simulator(trace=False)
+        fired = []
+        sim.schedule(0.5, lambda: fired.append("early"))
+        sim.schedule(1.0, lambda: fired.append("boundary"))
+        sim.run_window(1.0)
+        assert fired == ["early"]
+        assert sim.now == 1.0
+        sim.run_until(1.0)  # inclusive step picks the boundary event up
+        assert fired == ["early", "boundary"]
+
+    def test_injection_at_boundary_then_next_window(self):
+        sim = Simulator(trace=False)
+        fired = []
+        sim.run_window(1.0)
+        sim.schedule(1.0, lambda: fired.append("injected"))
+        sim.run_window(2.0)
+        assert fired == ["injected"]
+        assert sim.now == 2.0
+
+    def test_rejects_past_boundary(self):
+        sim = Simulator(trace=False)
+        sim.run_until(2.0)
+        with pytest.raises(SimulationError):
+            sim.run_window(1.0)
+
+
+class TestPartition:
+    def test_round_robin_groups(self):
+        plan = partition(reference_spec(), 2)
+        assert plan.groups == (("net-0", "net-2"), ("net-1", "net-3"))
+        assert plan.shard_of("net-2") == 0
+        assert plan.shard_of("net-1") == 1
+
+    def test_window_is_min_cross_shard_latency(self):
+        plan = partition(reference_spec(mesh_latency_s=0.025), 4)
+        assert plan.window_s == 0.025
+
+    def test_requested_window_clamped_to_lookahead(self):
+        spec = reference_spec(mesh_latency_s=0.05)
+        assert partition(spec, 2, window_s=10.0).window_s == 0.05
+        assert partition(spec, 2, window_s=0.01).window_s == 0.01
+
+    def test_single_shard_spanning_group_has_no_window(self):
+        # All networks on one shard of two would be invalid; instead:
+        # an assignment where every mesh link is shard-internal cannot
+        # happen on a full mesh, so check the no-cross-links case via a
+        # one-network spec.
+        solo = scaled_spec(1, 2, seed=1, transport=FAST_DIRECT)
+        plan = partition(solo, 1)
+        assert plan.window_s is None
+
+    def test_more_shards_than_aggregators_rejected(self):
+        with pytest.raises(ConfigError, match="4 aggregators but 5 shards"):
+            partition(reference_spec(), 5)
+
+    def test_spec_level_guard(self):
+        spec = reference_spec()
+        with pytest.raises(ConfigError, match="aggregators but"):
+            dataclasses.replace(spec, sharding=ShardSpec(shards=5))
+
+    def test_assignment_validation(self):
+        spec = reference_spec()
+        with pytest.raises(ConfigError, match="owns no aggregators"):
+            partition(spec, 2, assignment=((), ("net-0", "net-1", "net-2", "net-3")))
+        with pytest.raises(ConfigError, match="unknown network"):
+            partition(spec, 2, assignment=(("net-0", "nope"), ("net-1", "net-2")))
+        with pytest.raises(ConfigError, match="two shards"):
+            partition(
+                spec, 2, assignment=(("net-0", "net-1"), ("net-1", "net-2"))
+            )
+        with pytest.raises(ConfigError, match="misses networks"):
+            partition(spec, 2, assignment=(("net-0",), ("net-1",)))
+        with pytest.raises(ConfigError, match="groups for"):
+            partition(spec, 3, assignment=(("net-0",), ("net-1", "net-2", "net-3")))
+
+    def test_shard_spec_round_trips(self):
+        spec = dataclasses.replace(
+            reference_spec(),
+            sharding=ShardSpec(
+                shards=2,
+                window_s=0.01,
+                assignment=(("net-0", "net-3"), ("net-1", "net-2")),
+            ),
+        )
+        data = json.loads(spec.to_json())
+        assert ScenarioSpec.from_dict(data) == spec
+
+
+class TestDeterminism:
+    def test_serial_matches_pinned_digest(self):
+        run = run_sharded(reference_spec(), 4.0, shards=1)
+        assert run.mode == "serial"
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_matches_serial_everywhere(self, tmp_path, shards):
+        spec = reference_spec()
+        serial = run_sharded(spec, 4.0, shards=1)
+        run = run_sharded(spec, 4.0, shards=shards, processes=False)
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+        assert run.counters == serial.counters
+        assert run.devices == serial.devices
+        assert run.aggregators == serial.aggregators
+        assert run.chain.height == serial.chain.height
+        assert run.summary()["total_energy_mwh"] == pytest.approx(
+            serial.summary()["total_energy_mwh"]
+        )
+        serial_dir = tmp_path / "serial"
+        shard_dir = tmp_path / f"s{shards}"
+        serial.export_monitoring(serial_dir)
+        run.export_monitoring(shard_dir)
+        names = sorted(p.name for p in serial_dir.iterdir())
+        assert names == sorted(p.name for p in shard_dir.iterdir())
+        for name in names:
+            assert (serial_dir / name).read_bytes() == (shard_dir / name).read_bytes()
+
+    def test_worker_processes_match_serial(self):
+        spec = reference_spec()
+        run = run_sharded(spec, 4.0, shards=2, processes=True)
+        assert run.mode == "processes"
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+        assert sum(run.shard_events) > 0
+
+    def test_explicit_assignment_matches(self):
+        run = run_sharded(
+            reference_spec(),
+            4.0,
+            shards=2,
+            assignment=(("net-3", "net-0"), ("net-2", "net-1")),
+            processes=False,
+        )
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+
+    def test_spec_sharding_block_drives_the_run(self):
+        spec = dataclasses.replace(reference_spec(), sharding=ShardSpec(shards=2))
+        run = run_sharded(spec, 4.0, processes=False)
+        assert run.shards == 2
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+
+    def test_mqtt_rejected_for_multiple_shards(self):
+        spec = scaled_spec(4, 2, seed=7)  # default transport: mqtt
+        with pytest.raises(ConfigError, match="transport 'direct'"):
+            run_sharded(spec, 1.0, shards=2)
+
+    def test_auto_shards_runs(self):
+        run = run_sharded(reference_spec(), 2.0, shards="auto")
+        assert 1 <= run.shards <= 4
+
+
+class TestCrossShardPlane:
+    def test_membership_verify_round_trip(self):
+        spec = reference_spec()
+        plan = partition(spec, 2)
+        engines = [ShardEngine(spec, plan, i, trace=False) for i in range(2)]
+        verdicts = []
+        unit = engines[0].scenario.aggregators["net-0"]
+        # net-1 lives on shard 1: the request crosses the plane, the
+        # remote master answers, and the response crosses back.
+        unit._liaison.request_verification(
+            DeviceId("ghost-device"), AggregatorId("net-1"), verdicts.append
+        )
+        for boundary in _boundaries(plan.window_s, 1.0):
+            outboxes = [engine.run_window(boundary) for engine in engines]
+            for index, inbox in enumerate(_route(outboxes, plan)):
+                engines[index].absorb(inbox)
+        assert len(verdicts) == 1
+        assert verdicts[0].valid is False  # ghost-device never joined net-1
+        assert engines[0].proxy.messages_sent >= 1
+        assert engines[1].proxy.messages_sent >= 1
+
+    def test_proxy_refuses_remote_attach_and_foreign_source(self):
+        spec = reference_spec()
+        plan = partition(spec, 2)
+        engine = ShardEngine(spec, plan, 0, trace=False)
+        remote = AggregatorId("net-1")
+        with pytest.raises(BackhaulError, match="owned by another shard"):
+            engine.proxy.add_aggregator(remote, lambda *a: None)
+        with pytest.raises(BackhaulError, match="not local"):
+            # net-1 and net-3 both live on shard 1; shard 0 must refuse
+            # to originate traffic on their behalf.
+            engine.proxy.send(remote, AggregatorId("net-3"), object())
+
+    def test_outbox_messages_carry_conservative_arrival(self):
+        spec = reference_spec()
+        plan = partition(spec, 2)
+        engines = [ShardEngine(spec, plan, i, trace=False) for i in range(2)]
+        unit = engines[0].scenario.aggregators["net-0"]
+        unit._liaison.request_verification(
+            DeviceId("ghost-device"), AggregatorId("net-1"), lambda v: None
+        )
+        outbox = engines[0].run_window(plan.window_s)
+        assert outbox, "verify request should cross shards"
+        for message in outbox:
+            assert message.deliver_at >= message.sent_at + plan.window_s
+
+
+class TestCli:
+    def _write_spec(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        return str(path)
+
+    def test_shards_flag_matches_serial(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, reference_spec())
+        assert main(["--scenario", path, "--until", "4", "--shards", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["--scenario", path, "--until", "4", "--shards", "2"]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert serial["ledger_digest"] == SHARD_REFERENCE_SEED7_DIGEST
+        assert sharded["ledger_digest"] == SHARD_REFERENCE_SEED7_DIGEST
+        assert sharded["counters"] == serial["counters"]
+        assert sharded["devices"] == serial["devices"]
+        assert sharded["sharding"]["shards"] == 2
+
+    def test_spec_sharding_block_without_flag(self, tmp_path, capsys):
+        spec = dataclasses.replace(reference_spec(), sharding=ShardSpec(shards=2))
+        path = self._write_spec(tmp_path, spec)
+        assert main(["--scenario", path, "--until", "4"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["sharding"]["shards"] == 2
+        assert snapshot["ledger_digest"] == SHARD_REFERENCE_SEED7_DIGEST
+
+    def test_bad_shards_value(self, tmp_path):
+        path = self._write_spec(tmp_path, reference_spec())
+        with pytest.raises(SystemExit):
+            main(["--scenario", path, "--shards", "lots"])
+
+
+class TestShardProperties:
+    @given(
+        latency_ms=st.integers(min_value=1, max_value=200),
+        shards=st.integers(min_value=2, max_value=4),
+        requested_ms=st.one_of(st.none(), st.integers(min_value=1, max_value=400)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_window_never_exceeds_min_cross_shard_latency(
+        self, latency_ms, shards, requested_ms
+    ):
+        spec = reference_spec(mesh_latency_s=latency_ms / 1000.0)
+        requested = None if requested_ms is None else requested_ms / 1000.0
+        plan = partition(spec, shards, window_s=requested)
+        assert plan.window_s is not None
+        assert plan.window_s <= spec.mesh.latency_s
+        if requested is not None:
+            assert plan.window_s <= requested
+
+    @given(permutation=st.permutations(["net-0", "net-1", "net-2", "net-3"]))
+    @settings(max_examples=5, deadline=None)
+    def test_random_assignments_preserve_pinned_digest(self, permutation):
+        assignment = (tuple(permutation[:2]), tuple(permutation[2:]))
+        run = run_sharded(
+            reference_spec(), 4.0, shards=2, assignment=assignment, processes=False
+        )
+        assert run.ledger_digest == SHARD_REFERENCE_SEED7_DIGEST
+
+
+class TestShardsOneIsSerial:
+    def test_wrapped_serial_equals_direct_build(self):
+        spec = reference_spec()
+        scenario = build(spec)
+        scenario.run_until(4.0)
+        run = run_sharded(spec, 4.0, shards=1)
+        assert run.ledger_digest == scenario.chain.tip_hash
+        assert run.counters == scenario.counters.snapshot()
+        assert run.snapshot()["devices"] == scenario.snapshot()["devices"]
