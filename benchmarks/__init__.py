@@ -1,0 +1,6 @@
+"""Standalone benchmark scripts and the shared BENCH_*.json validator.
+
+The ``bench_*.py`` scripts are run directly (they put this directory on
+``sys.path`` themselves); the package exists so the artifact validator
+can run as ``python -m benchmarks.validate``.
+"""

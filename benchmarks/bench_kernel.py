@@ -11,6 +11,17 @@ Measures the discrete-event hot path at four grains:
   transport networks, 20 simulated seconds, tracing off.  This is the
   case the committed ``BENCH_kernel.json`` tracks against the
   pre-optimisation kernel.
+* ``fleet_1k_vector`` — the same world with the vectorized fleet actor
+  (``vector.enabled``).  Throughput is reported in **device-equivalent
+  events/s**: the scalar run's event count divided by the vector wall
+  time, since the whole point is executing the same simulated work with
+  far fewer kernel events.  ``kernel_events`` records the raw count.
+  ``reference_events_per_s``/``speedup`` compare against the scalar
+  ``fleet_1k_direct`` measured in the *same* invocation.
+* ``fleet_100k_direct`` (full config only) — the shards × vector
+  ceiling: ``BENCH_shard.json``'s ``fleet_100k`` world (fast-join
+  transport, line mesh, same horizon) run with sharding and the
+  vector actor together, raw merged kernel events/s.
 
 Run standalone (CI smoke)::
 
@@ -21,6 +32,7 @@ Run standalone (CI smoke)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -29,6 +41,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _harness import attach_reference, case, check_regression, measure, write_results
 from repro.runtime import TransportSpec, build
 from repro.runtime.context import SimContext
+from repro.runtime.spec import VectorSpec
 from repro.sim.kernel import Simulator
 from repro.workloads.scenarios import scaled_spec
 
@@ -77,17 +90,55 @@ def run_same_instant_burst(n_events: int, burst: int = 1000) -> Simulator:
     return sim
 
 
-def run_fleet(n_networks: int, devices_per_network: int, horizon_s: float) -> Simulator:
-    """The direct-transport fleet, tracing off (the headline case)."""
+def _fleet_spec(n_networks: int, devices_per_network: int, vector: bool):
     spec = scaled_spec(
         n_networks=n_networks,
         devices_per_network=devices_per_network,
         seed=77,
         transport=TransportSpec(kind="direct"),
     )
+    if vector:
+        spec = dataclasses.replace(spec, vector=VectorSpec(enabled=True))
+    return spec
+
+
+def run_fleet(
+    n_networks: int,
+    devices_per_network: int,
+    horizon_s: float,
+    vector: bool = False,
+) -> Simulator:
+    """The direct-transport fleet, tracing off (the headline case)."""
+    spec = _fleet_spec(n_networks, devices_per_network, vector)
     scenario = build(spec, context=SimContext.create(seed=77, trace=False))
     scenario.simulator.run_until(horizon_s)
     return scenario.simulator
+
+
+class _ShardedSim:
+    """Adapter so :func:`measure` callers see a Simulator-shaped result."""
+
+    def __init__(self, events_executed: int) -> None:
+        self.events_executed = events_executed
+
+
+def run_fleet_sharded(
+    n_networks: int, devices_per_network: int, horizon_s: float
+) -> _ShardedSim:
+    """The shards × vector ceiling: every composition layer engaged.
+
+    Reuses ``bench_shard.fleet_spec`` (fast-join transport, line mesh)
+    so the world matches ``BENCH_shard.json``'s ``fleet_100k`` case —
+    the only delta is the vector actor.
+    """
+    from bench_shard import fleet_spec
+    from repro.shard import run_sharded
+
+    spec = dataclasses.replace(
+        fleet_spec(n_networks, devices_per_network), vector=VectorSpec(enabled=True)
+    )
+    result = run_sharded(spec, horizon_s, "auto", processes=False, trace=False)
+    return _ShardedSim(result.events_executed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -135,6 +186,41 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{name}: {cases[name]['events']:,} events in "
             f"{cases[name]['wall_s']:.2f}s = {cases[name]['events_per_s']:,} events/s"
+        )
+
+    # The vector curve: same world, device-equivalent throughput (the
+    # scalar run's event count over the vector wall time), compared
+    # against the scalar fleet measured moments ago on this machine.
+    scalar_fleet = cases["fleet_1k_direct"]
+    vsim, vwall = measure(run_fleet, *fleet_shape, vector=True, repeats=repeats)
+    record = case(scalar_fleet["events"], vwall)
+    record["kernel_events"] = vsim.events_executed
+    record["reference_events_per_s"] = scalar_fleet["events_per_s"]
+    if scalar_fleet["events_per_s"] > 0:
+        record["speedup"] = round(
+            record["events_per_s"] / scalar_fleet["events_per_s"], 2
+        )
+    cases["fleet_1k_vector"] = record
+    print(
+        f"fleet_1k_vector: {record['events']:,} device-equivalent events in "
+        f"{record['wall_s']:.2f}s = {record['events_per_s']:,} events/s "
+        f"({record.get('speedup', '?')}x scalar, "
+        f"{record['kernel_events']:,} kernel events)"
+    )
+
+    if not args.smoke:
+        # The composition ceiling: 100k devices, shards × vector, in
+        # BENCH_shard.json's fleet_100k world (same shape and horizon,
+        # so the two artifacts compare directly).  Raw merged kernel
+        # events/s.  20 devices/network keeps feeder currents inside
+        # the INA219 range (1,000/network saturates the +/-3200 mA
+        # feeder sensor).
+        ssim, swall = measure(run_fleet_sharded, 5000, 20, 2.0, repeats=1)
+        cases["fleet_100k_direct"] = case(ssim.events_executed, swall)
+        record = cases["fleet_100k_direct"]
+        print(
+            f"fleet_100k_direct: {record['events']:,} events in "
+            f"{record['wall_s']:.2f}s = {record['events_per_s']:,} events/s"
         )
 
     if args.reference:

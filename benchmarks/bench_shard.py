@@ -33,6 +33,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from _harness import check_regression, write_results
+from validate import validate_shard
 from repro.parallel import available_cpus
 from repro.runtime.spec import MeshSpec, TransportSpec
 from repro.shard.runner import run_sharded
@@ -54,18 +55,6 @@ FULL_FLEETS = [
 SMOKE_FLEETS = [
     ("fleet_100", 5, 20, 2.0, (1, 4)),
 ]
-
-REQUIRED_CASE_KEYS = {
-    "events",
-    "wall_s",
-    "events_per_s",
-    "shards",
-    "basis",
-    "critical_path_s",
-    "available_cpus",
-    "digest",
-}
-
 
 def fleet_spec(n_networks: int, devices_per_network: int):
     # A line mesh keeps the link count linear in the network count (a
@@ -145,42 +134,13 @@ def run_config(fleets) -> tuple[dict, list[str]]:
 
 
 def validate_bench(data: dict) -> list[str]:
-    """Schema + invariant check for a ``BENCH_shard.json`` payload."""
-    problems = []
-    if data.get("suite") != "shard":
-        problems.append(f"suite is {data.get('suite')!r}, expected 'shard'")
-    configs = data.get("configs") or {}
-    if not configs:
-        problems.append("no configs recorded")
-    for config_name, cases in configs.items():
-        if not cases:
-            problems.append(f"{config_name}: empty config")
-            continue
-        digests: dict[str, str] = {}
-        for case_name, record in cases.items():
-            missing = REQUIRED_CASE_KEYS - set(record)
-            if missing:
-                problems.append(f"{config_name}/{case_name}: missing {sorted(missing)}")
-                continue
-            if record["events"] <= 0 or record["events_per_s"] <= 0:
-                problems.append(f"{config_name}/{case_name}: no throughput recorded")
-            if record["basis"] != "critical_path":
-                problems.append(
-                    f"{config_name}/{case_name}: unexpected basis {record['basis']!r}"
-                )
-            if record["shards"] > 1 and "speedup_vs_serial" not in record:
-                problems.append(
-                    f"{config_name}/{case_name}: multi-shard case lacks "
-                    "speedup_vs_serial"
-                )
-            fleet = case_name.rsplit("_shards", 1)[0]
-            if fleet in digests and digests[fleet] != record["digest"]:
-                problems.append(
-                    f"{config_name}/{case_name}: digest differs from "
-                    f"{fleet}'s other shard counts"
-                )
-            digests.setdefault(fleet, record["digest"])
-    return problems
+    """Schema + invariant check for a ``BENCH_shard.json`` payload.
+
+    Delegates to the shared artifact validator
+    (``python -m benchmarks.validate``); this alias keeps the script's
+    ``--validate`` flag working.
+    """
+    return validate_shard(data)
 
 
 def main(argv=None) -> int:

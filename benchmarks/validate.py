@@ -1,0 +1,199 @@
+"""Shared schema validator for every committed ``BENCH_*.json`` artifact.
+
+One entry point replaces the per-bench ``--validate`` one-offs::
+
+    PYTHONPATH=src python -m benchmarks.validate            # repo root
+    PYTHONPATH=src python -m benchmarks.validate BENCH_kernel.json ...
+
+Covered suites (dispatched on the file's ``suite`` field):
+
+* ``kernel`` — throughput cases, including the vector curve: the full
+  config must carry ``fleet_1k_vector`` with its ``kernel_events`` /
+  ``reference_events_per_s`` / ``speedup`` extras next to the preserved
+  scalar ``fleet_1k_direct`` reference.
+* ``fleet`` — plain throughput cases (both transport backends).
+* ``shard`` — throughput plus the digest invariant: every shard count
+  of one fleet must report the same ledger digest.
+* ``ledger`` — the delay-vs-traffic curve and pruning acceptance bound
+  (delegated to :func:`repro.experiments.ledger_sync.validate_bench`,
+  the module that writes the artifact).
+
+Each validator returns a list of problem strings; the CLI prints them
+and exits non-zero when any file is invalid or missing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+# Keys every throughput case must carry (written by _harness.case()).
+THROUGHPUT_KEYS = {"events", "wall_s", "events_per_s"}
+
+# The shard suite's cases add provenance the digest gate relies on.
+SHARD_CASE_KEYS = THROUGHPUT_KEYS | {
+    "shards",
+    "basis",
+    "critical_path_s",
+    "available_cpus",
+    "digest",
+}
+
+# The kernel full config must include the vectorized fleet curve with
+# its comparison metadata, alongside the scalar case it is measured
+# against.
+KERNEL_VECTOR_CASE = "fleet_1k_vector"
+KERNEL_VECTOR_KEYS = {"kernel_events", "reference_events_per_s", "speedup"}
+
+
+def _numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_throughput_case(
+    problems: list[str], where: str, record: Any, required: set[str]
+) -> bool:
+    """Common shape check; returns True when the record is an object."""
+    if not isinstance(record, dict):
+        problems.append(f"{where}: case is not an object")
+        return False
+    missing = required - set(record)
+    if missing:
+        problems.append(f"{where}: missing {sorted(missing)}")
+        return False
+    for key in required & THROUGHPUT_KEYS:
+        if not _numeric(record[key]):
+            problems.append(f"{where}: {key} is not numeric")
+            return False
+    if record["events"] <= 0 or record["events_per_s"] <= 0:
+        problems.append(f"{where}: no throughput recorded")
+    return True
+
+
+def _configs(problems: list[str], data: Any, suite: str) -> dict[str, Any]:
+    if not isinstance(data, dict):
+        problems.append("document is not an object")
+        return {}
+    if data.get("suite") != suite:
+        problems.append(f"suite is {data.get('suite')!r}, expected {suite!r}")
+    configs = data.get("configs")
+    if not isinstance(configs, dict) or not configs:
+        problems.append("configs must be a non-empty object")
+        return {}
+    return configs
+
+
+def validate_kernel(data: Any) -> list[str]:
+    """Kernel suite: throughput cases + the vector curve's extras."""
+    problems: list[str] = []
+    for config_name, cases in _configs(problems, data, "kernel").items():
+        if not isinstance(cases, dict) or not cases:
+            problems.append(f"{config_name}: empty config")
+            continue
+        for case_name, record in cases.items():
+            where = f"{config_name}/{case_name}"
+            if not _check_throughput_case(problems, where, record, THROUGHPUT_KEYS):
+                continue
+            if case_name == KERNEL_VECTOR_CASE:
+                missing = KERNEL_VECTOR_KEYS - set(record)
+                if missing:
+                    problems.append(f"{where}: vector case missing {sorted(missing)}")
+        if config_name == "full":
+            if KERNEL_VECTOR_CASE not in cases:
+                problems.append(f"{config_name}: vector curve not recorded")
+            if "fleet_1k_direct" not in cases:
+                problems.append(f"{config_name}: scalar reference case missing")
+    return problems
+
+
+def validate_fleet(data: Any) -> list[str]:
+    """Fleet suite: plain throughput cases."""
+    problems: list[str] = []
+    for config_name, cases in _configs(problems, data, "fleet").items():
+        if not isinstance(cases, dict) or not cases:
+            problems.append(f"{config_name}: empty config")
+            continue
+        for case_name, record in cases.items():
+            _check_throughput_case(
+                problems, f"{config_name}/{case_name}", record, THROUGHPUT_KEYS
+            )
+    return problems
+
+
+def validate_shard(data: Any) -> list[str]:
+    """Shard suite: throughput, provenance, and the digest invariant."""
+    problems: list[str] = []
+    for config_name, cases in _configs(problems, data, "shard").items():
+        if not isinstance(cases, dict) or not cases:
+            problems.append(f"{config_name}: empty config")
+            continue
+        digests: dict[str, str] = {}
+        for case_name, record in cases.items():
+            where = f"{config_name}/{case_name}"
+            if not _check_throughput_case(problems, where, record, SHARD_CASE_KEYS):
+                continue
+            if record["basis"] != "critical_path":
+                problems.append(f"{where}: unexpected basis {record['basis']!r}")
+            if record["shards"] > 1 and "speedup_vs_serial" not in record:
+                problems.append(f"{where}: multi-shard case lacks speedup_vs_serial")
+            fleet = case_name.rsplit("_shards", 1)[0]
+            if fleet in digests and digests[fleet] != record["digest"]:
+                problems.append(
+                    f"{where}: digest differs from {fleet}'s other shard counts"
+                )
+            digests.setdefault(fleet, record["digest"])
+    return problems
+
+
+def validate_ledger(data: Any) -> list[str]:
+    """Ledger suite: reuse the writer's own schema check."""
+    from repro.experiments.ledger_sync import validate_bench
+
+    return validate_bench(data)
+
+
+VALIDATORS = {
+    "kernel": validate_kernel,
+    "fleet": validate_fleet,
+    "shard": validate_shard,
+    "ledger": validate_ledger,
+}
+
+
+def validate_file(path: Path) -> list[str]:
+    """All problems with one artifact file (empty list = valid)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    suite = data.get("suite") if isinstance(data, dict) else None
+    validator = VALIDATORS.get(suite)
+    if validator is None:
+        return [f"unknown suite {suite!r} (expected one of {sorted(VALIDATORS)})"]
+    return validator(data)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if args:
+        paths = [Path(arg) for arg in args]
+    else:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted(root.glob("BENCH_*.json"))
+        if not paths:
+            print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
+            return 1
+    failed = False
+    for path in paths:
+        problems = validate_file(path)
+        for problem in problems:
+            print(f"INVALID {path}: {problem}")
+        print(f"{path}: {'INVALID' if problems else 'ok'}")
+        failed = failed or bool(problems)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--vector",
+        action="store_true",
+        help=(
+            "enable the vectorized fleet actor for a --scenario run "
+            "(array-backed steady-state devices; requires transport "
+            "'direct'; output is byte-identical to the scalar path)"
+        ),
+    )
+    parser.add_argument(
         "--obs-dir",
         metavar="DIR",
         help=(
@@ -95,6 +104,7 @@ def run_scenario_file(
     until: float,
     obs_dir: str | None = None,
     shards: int | str | None = None,
+    vector: bool = False,
 ) -> dict:
     """Build the spec in ``path``, run it and return the snapshot.
 
@@ -103,11 +113,18 @@ def run_scenario_file(
     written there.  With ``shards`` (a count or ``"auto"``), the run
     goes through :func:`~repro.shard.runner.run_sharded` — the snapshot
     gains a ``sharding`` block but is otherwise the same world, merged
-    back to the serial view.
+    back to the serial view.  With ``vector``, the vectorized fleet
+    actor is force-enabled on top of the spec's own ``vector`` block.
     """
+    import dataclasses
+
     from repro.runtime import ObsSpec, ScenarioSpec, build
 
     spec = ScenarioSpec.from_json(Path(path).read_text())
+    if vector and not spec.vector.enabled:
+        spec = dataclasses.replace(
+            spec, vector=dataclasses.replace(spec.vector, enabled=True)
+        )
     if shards is not None or spec.sharding.shards > 1:
         from repro.shard.runner import run_sharded
 
@@ -150,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
             args.until,
             obs_dir=args.obs_dir,
             shards=_parse_count(args.shards, "--shards"),
+            vector=args.vector,
         )
         text = json.dumps(snapshot, indent=2, default=str)
         print(text)

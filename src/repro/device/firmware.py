@@ -61,12 +61,17 @@ class Firmware:
         """Measurements performed since construction."""
         return self._samples_taken
 
-    def start(self) -> None:
-        """Begin periodic sampling (first sample after one interval)."""
+    def start(self, first_at: float | None = None) -> None:
+        """Begin periodic sampling (first sample after one interval).
+
+        ``first_at`` pins the first sample to an absolute time instead —
+        used when a device de-vectorizes and must resume on the exact
+        tick grid its cohort was driving.
+        """
         if self._task is not None:
             return
         self._task = self._sim.every(
-            self._t_measure_s, self._tick, label="firmware:sample"
+            self._t_measure_s, self._tick, first_at=first_at, label="firmware:sample"
         )
 
     def stop(self) -> None:

@@ -217,11 +217,17 @@ class MeteringDevice(Process):
         # airtime).  Resolved once — the link never changes backend.
         self._wire_bytes = self._client.wire_bytes
 
+        # Set while this device executes inside an array-backed cohort
+        # (see repro.vector): the cohort handle is what the
+        # de-vectorization hooks below call back into.  Must exist
+        # before any attribute with a de-vectorizing setter.
+        self._vector_cohort: Any | None = None
+
         # The paper's threat model: "in-device energy metering is
         # susceptible to manipulation and fraud".  Installing an attack
         # here manipulates what the device *reports*; physical
         # consumption (what the feeder sees) is untouched.
-        self.tamper_attack: Any | None = None
+        self._tamper_attack: Any | None = None
 
         self._sequence = 0
         self._current_ap: AccessPoint | None = None
@@ -305,6 +311,24 @@ class MeteringDevice(Process):
     def last_handshake(self) -> HandshakeRecord | None:
         """Most recent handshake record, or None."""
         return self._handshakes[-1] if self._handshakes else None
+
+    @property
+    def tamper_attack(self) -> Any | None:
+        """The installed metering attack, if any."""
+        return self._tamper_attack
+
+    @tamper_attack.setter
+    def tamper_attack(self, attack: Any | None) -> None:
+        self._tamper_attack = attack
+        if attack is not None and self._vector_cohort is not None:
+            # The cohort hot path assumes untampered reports; fall back
+            # to the full per-object actor while the attack is active.
+            self._vector_cohort.release(self, "tamper")
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether this device currently executes inside a cohort."""
+        return self._vector_cohort is not None
 
     @property
     def sequences_issued(self) -> int:
@@ -457,6 +481,8 @@ class MeteringDevice(Process):
         """
         if self._current_ap is None:
             raise ProtocolError(f"{self.name} is not in any network")
+        if self._vector_cohort is not None:
+            self._vector_cohort.release(self, "roam")
         if self._client.connected:
             try:
                 self._current_ap.endpoint.unsubscribe(self._ctrl_topic, self._on_ctrl)
@@ -490,6 +516,8 @@ class MeteringDevice(Process):
             raise ProtocolError(f"{self.name} is not in any network")
         if not self._client.connected:
             raise ProtocolError(f"{self.name} is already disconnected")
+        if self._vector_cohort is not None:
+            self._vector_cohort.release(self, "connection_drop")
         try:
             self._current_ap.endpoint.unsubscribe(self._ctrl_topic, self._on_ctrl)
         except Exception:
@@ -534,8 +562,8 @@ class MeteringDevice(Process):
     def _build_report(self, measurement: Measurement, buffered: bool = False) -> ConsumptionReport:
         current_ma = measurement.current_ma
         reported_energy = measurement.energy_mwh
-        if self.tamper_attack is not None:
-            current_ma = self.tamper_attack.apply(current_ma)
+        if self._tamper_attack is not None:
+            current_ma = self._tamper_attack.apply(current_ma)
             reported_energy = energy_mwh(
                 current_ma, measurement.voltage_v, measurement.interval_s
             )
@@ -893,6 +921,13 @@ class MeteringDevice(Process):
 
     def _on_ctrl(self, topic: str, payload: Any) -> None:
         message = as_message(payload)
+        if self._vector_cohort is not None and not isinstance(message, Ack):
+            # Anything beyond a plain Ack (Nack, registration traffic,
+            # management commands, receipts, sync batches, transfers)
+            # means the device is no longer in steady state: restore the
+            # full per-object actor before handling it.  Acks for
+            # cohort-deferred reports complete consistently either way.
+            self._vector_cohort.release(self, "ctrl")
         if isinstance(message, Ack):
             if message.sequence is not None:
                 self._acked_sequences.add(message.sequence)

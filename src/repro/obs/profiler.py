@@ -40,16 +40,18 @@ HIST_BUCKETS = 32
 
 
 class _LabelStats:
-    __slots__ = ("count", "total_s", "max_s", "hist")
+    __slots__ = ("count", "weighted", "total_s", "max_s", "hist")
 
     def __init__(self) -> None:
         self.count = 0
+        self.weighted = 0
         self.total_s = 0.0
         self.max_s = 0.0
         self.hist = [0] * HIST_BUCKETS
 
-    def add(self, elapsed: float) -> None:
+    def add(self, elapsed: float, weight: int = 1) -> None:
         self.count += 1
+        self.weighted += weight
         self.total_s += elapsed
         if elapsed > self.max_s:
             self.max_s = elapsed
@@ -58,6 +60,7 @@ class _LabelStats:
 
     def merge(self, other: "_LabelStats") -> None:
         self.count += other.count
+        self.weighted += other.weighted
         self.total_s += other.total_s
         if other.max_s > self.max_s:
             self.max_s = other.max_s
@@ -70,12 +73,18 @@ class _LabelStats:
         top = HIST_BUCKETS
         while top > 0 and hist[top - 1] == 0:
             top -= 1
-        return {
+        payload = {
             "count": self.count,
             "total_s": round(self.total_s, 9),
             "max_s": round(self.max_s, 9),
             "hist_log2_us": hist[:top],
         }
+        # Only weighted labels (cohort events standing in for many
+        # device-equivalents) emit the extra key — unweighted profiles
+        # keep their historical shape.
+        if self.weighted != self.count:
+            payload["weighted"] = self.weighted
+        return payload
 
 
 def _event_type(label: str) -> str:
@@ -104,12 +113,34 @@ class KernelProfiler:
         self._sample_every = max(1, sample_every)
         self._by_label: dict[str, _LabelStats] = {}
         self._events = 0
+        self._weighted_events = 0
         self._wall_s = 0.0
         self._samples: list[dict[str, Any]] = []
+        self._weights: dict[str, Any] = {}
 
     @property
     def events(self) -> int:
         return self._events
+
+    @property
+    def weighted_events(self) -> int:
+        """Device-equivalent event count (== :attr:`events` unless a
+        weight provider inflated cohort events)."""
+        return self._weighted_events
+
+    def set_weight(self, label: str, provider: Any) -> None:
+        """Register a per-event weight for ``label``.
+
+        ``provider`` is a zero-arg callable returning how many
+        device-equivalent events one callback with this label stands
+        for (a vectorized cohort tick counts ``len(cohort)``, not 1).
+        It is invoked *after* the callback returns, so it observes the
+        post-event cohort size.  Pass ``None`` to unregister.
+        """
+        if provider is None:
+            self._weights.pop(label, None)
+        else:
+            self._weights[label] = provider
 
     # -- the instrumented run loop -------------------------------------
 
@@ -131,7 +162,9 @@ class KernelProfiler:
         clock = sim.clock
         now = clock.now
         executed = 0
+        executed_weight = 0
         by_label = self._by_label
+        weights = self._weights
         sample_every = self._sample_every
         run_start = perf_counter()
         try:
@@ -154,7 +187,13 @@ class KernelProfiler:
                 stats = by_label.get(event.label)
                 if stats is None:
                     stats = by_label[event.label] = _LabelStats()
-                stats.add(elapsed)
+                if weights:
+                    provider = weights.get(event.label)
+                    weight = int(provider()) if provider is not None else 1
+                else:
+                    weight = 1
+                executed_weight += weight
+                stats.add(elapsed, weight)
                 if executed % sample_every == 0:
                     wall = self._wall_s + (perf_counter() - run_start)
                     total = self._events + executed
@@ -174,6 +213,7 @@ class KernelProfiler:
         finally:
             self._wall_s += perf_counter() - run_start
             self._events += executed
+            self._weighted_events += executed_weight
             sim._events_executed += executed
 
     # -- reporting -----------------------------------------------------
@@ -189,7 +229,7 @@ class KernelProfiler:
                 if agg is None:
                     agg = table[key] = _LabelStats()
                 agg.merge(stats)
-        return {
+        payload = {
             "enabled": True,
             "events": self._events,
             "wall_s": round(self._wall_s, 6),
@@ -201,3 +241,9 @@ class KernelProfiler:
             },
             "samples": list(self._samples),
         }
+        if self._weighted_events != self._events:
+            payload["weighted_events"] = self._weighted_events
+            payload["weighted_events_per_s"] = (
+                int(self._weighted_events / self._wall_s) if self._wall_s > 0 else 0
+            )
+        return payload

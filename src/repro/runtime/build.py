@@ -277,6 +277,12 @@ def build_partial(
         injectors: dict[str, LinkFaultInjector] = {}
         for fault in armed:
             _arm_fault(scenario, fault, injectors)
+    if spec.vector.enabled and spec.transport.kind == "direct":
+        # Imported lazily so worlds that never vectorize don't pay for
+        # the numpy probe at import time.
+        from repro.vector.fleet import VectorFleet
+
+        scenario.vector_fleets.append(VectorFleet(scenario, spec.vector))
     return scenario
 
 

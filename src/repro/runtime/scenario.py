@@ -60,6 +60,9 @@ class Scenario:
     spec: ScenarioSpec | None = None
     master_seed: int = 0
     fault_plan: "FaultPlan | None" = None
+    # VectorFleet instances when vectorized execution is enabled (one
+    # per scenario today; a list so shard engines can iterate blindly).
+    vector_fleets: list = field(default_factory=list)
 
     @property
     def counters(self) -> "CounterBank | None":

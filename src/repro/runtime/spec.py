@@ -539,6 +539,67 @@ class ShardSpec:
 
 
 @dataclass(frozen=True)
+class VectorSpec:
+    """Vectorized (array-backed cohort) execution configuration.
+
+    Default **off**: a spec without a ``vector`` block builds and runs
+    exactly as before this layer existed.  When on, steady-state devices
+    fold into per-aggregator cohort actors (:mod:`repro.vector`) that
+    execute one kernel event per tick for the whole cohort; the digest,
+    counters, summaries and monitoring exports stay bit-identical to the
+    scalar path on steady-state runs.  Only the ``direct`` transport is
+    vectorizable — on ``mqtt`` the flag is accepted but inert.
+
+    Attributes:
+        enabled: Master switch.
+        scan_interval_s: How often the fleet scans for quiescent devices
+            to vectorize (and re-vectorize after a de-vectorization).
+        min_cohort: Smallest device group worth folding into arrays.
+        backend: ``auto`` (numpy when available), ``python`` (force the
+            ``array``-module fallback — mainly for tests).
+    """
+
+    enabled: bool = False
+    scan_interval_s: float = 1.0
+    min_cohort: int = 2
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.scan_interval_s <= 0:
+            raise ConfigError(
+                f"scan interval must be positive, got {self.scan_interval_s}"
+            )
+        if self.min_cohort < 1:
+            raise ConfigError(f"min cohort must be >= 1, got {self.min_cohort}")
+        if self.backend not in ("auto", "python"):
+            raise ConfigError(
+                f"vector backend must be 'auto' or 'python', got {self.backend!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "enabled": self.enabled,
+            "scan_interval_s": self.scan_interval_s,
+            "min_cohort": self.min_cohort,
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "VectorSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data, {"enabled", "scan_interval_s", "min_cohort", "backend"}, "vector"
+        )
+        return cls(
+            enabled=data.get("enabled", False),
+            scan_interval_s=data.get("scan_interval_s", 1.0),
+            min_cohort=data.get("min_cohort", 2),
+            backend=data.get("backend", "auto"),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -641,6 +702,8 @@ class ScenarioSpec:
             (default off — see :class:`LedgerSpec`).
         sharding: Sharded-execution configuration (default serial —
             see :class:`ShardSpec`).
+        vector: Vectorized-execution configuration (default off — see
+            :class:`VectorSpec`).
     """
 
     networks: tuple[NetworkSpec, ...]
@@ -655,6 +718,7 @@ class ScenarioSpec:
     obs: ObsSpec = field(default_factory=ObsSpec)
     ledger: LedgerSpec = field(default_factory=LedgerSpec)
     sharding: ShardSpec = field(default_factory=ShardSpec)
+    vector: VectorSpec = field(default_factory=VectorSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -735,6 +799,7 @@ class ScenarioSpec:
             "obs": self.obs.to_dict(),
             "ledger": self.ledger.to_dict(),
             "sharding": self.sharding.to_dict(),
+            "vector": self.vector.to_dict(),
         }
 
     @classmethod
@@ -743,7 +808,7 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "transport", "faults", "obs", "ledger", "sharding"},
+             "mesh", "transport", "faults", "obs", "ledger", "sharding", "vector"},
             "scenario",
         )
         return cls(
@@ -770,6 +835,11 @@ class ScenarioSpec:
                 ShardSpec.from_dict(data["sharding"])
                 if "sharding" in data
                 else ShardSpec()
+            ),
+            vector=(
+                VectorSpec.from_dict(data["vector"])
+                if "vector" in data
+                else VectorSpec()
             ),
         )
 

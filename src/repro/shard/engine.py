@@ -26,6 +26,7 @@ Determinism notes:
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 from repro.chain.ledger import Blockchain
@@ -171,6 +172,12 @@ class ShardEngine:
 
     def run_window(self, boundary: float) -> list[RemoteMessage]:
         """Execute ``[now, boundary)``, park on the boundary, drain outbox."""
+        # The vector fleet's deliver pass processes reports inline only
+        # up to the earliest pending kernel event; inside a window it
+        # must also stop at the boundary — the next window can absorb
+        # cross-shard messages that schedule work before those arrivals.
+        for fleet in self.scenario.vector_fleets:
+            fleet.window_horizon = boundary
         self.simulator.run_window(boundary)
         return self.proxy.drain_outbox()
 
@@ -197,6 +204,8 @@ class ShardEngine:
 
     def finish(self, until: float) -> None:
         """Run the final *inclusive* step to ``until`` (serial semantics)."""
+        for fleet in self.scenario.vector_fleets:
+            fleet.window_horizon = math.inf
         self.simulator.run_until(until)
 
     # -- results --------------------------------------------------------

@@ -85,6 +85,10 @@ class DirectHub(Process, Endpoint):
         self._messages_dropped = 0
         self._down = False
         self._injector: LinkFaultInjector | None = None
+        # Called with this hub on every routing-state change (crash,
+        # restore, injector install/clear).  The vectorized fleet hangs
+        # de-vectorization off these; empty for everyone else.
+        self._state_watchers: list[Callable[["DirectHub"], None]] = []
 
     @property
     def messages_routed(self) -> int:
@@ -105,10 +109,14 @@ class DirectHub(Process, Endpoint):
         """Crash/restore the hub host (fault injection)."""
         self._down = down
         self.trace("direct.hub_down" if down else "direct.hub_up")
+        for watcher in self._state_watchers:
+            watcher(self)
 
     def set_fault_injector(self, injector: LinkFaultInjector | None) -> None:
         """Install (or clear) a fault injector on the routing path."""
         self._injector = injector
+        for watcher in self._state_watchers:
+            watcher(self)
 
     def connect_duration_s(self) -> float:
         """Fixed connect latency (no jitter draw)."""
@@ -262,6 +270,8 @@ class DirectLink(Process, DeviceLink):
         self._retry_backoff_s = retry_backoff_s
         self._endpoint: Endpoint | None = None
         self._injector: LinkFaultInjector | None = None
+        # Called on injector install/clear (vectorized-fleet hook).
+        self._state_watchers: list[Callable[[], None]] = []
 
     @property
     def connected(self) -> bool:
@@ -303,6 +313,8 @@ class DirectLink(Process, DeviceLink):
     def set_fault_injector(self, injector: LinkFaultInjector | None) -> None:
         """Install (or clear) a fault injector on this link's uplink."""
         self._injector = injector
+        for watcher in self._state_watchers:
+            watcher()
 
     def _attempt_lost(self) -> bool:
         """One transmission attempt's fate: blocked, lost, or through."""
@@ -426,6 +438,8 @@ class DirectTransport(Transport):
         self.scan_s = scan_s
         self.assoc_s = assoc_s
         self._injector: LinkFaultInjector | None = None
+        # Called on environment-injector install/clear (fleet hook).
+        self._state_watchers: list[Callable[[], None]] = []
 
     @property
     def fault_injector(self) -> LinkFaultInjector | None:
@@ -447,6 +461,8 @@ class DirectTransport(Transport):
     def set_fault_injector(self, injector: LinkFaultInjector | None) -> None:
         """Environment-scale faults: every link consults this injector."""
         self._injector = injector
+        for watcher in self._state_watchers:
+            watcher()
 
     def describe(self) -> dict[str, Any]:
         """Backend kind plus the fixed link parameters."""
