@@ -1,0 +1,185 @@
+"""Serve-mode sustained ingestion: HTTP clients against the live service.
+
+Measures the end-to-end serving stack — HTTP parsing, codec validation,
+endpoint delivery, aggregator screening, kernel advance, downlink
+correlation, JSON response — under concurrent keep-alive clients posting
+report batches.  Three batch sizes (1, 8, 64) expose the d3a batch
+idiom's amortisation: one kernel advance serves a whole batch, so the
+per-report cost of a 64-report batch is a small fraction of 1-report
+POSTs.
+
+``python -m benchmarks.bench_serve`` runs the full shape and
+``--smoke`` a sub-second one; ``--out``/``--check`` write/gate the
+committed ``BENCH_serve.json``.  The "events" of a case are *reports
+acknowledged*, so ``events_per_s`` is sustained verified-ingestion
+throughput.
+"""
+
+import argparse
+import dataclasses
+import http.client
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import case, check_regression, write_results
+from repro.ids import DeviceId
+from repro.protocol.codec import encode_message
+from repro.protocol.messages import RegistrationRequest
+from repro.runtime.spec import ServeSpec
+from repro.serve import AggregatorService, ServeRunner
+from repro.workloads.scenarios import paper_testbed_spec
+
+
+def _report_dict(device: str, sequence: int, measured_at: float) -> dict:
+    """A constant-current report that passes every verification screen."""
+    return {
+        "type": "consumption_report",
+        "device": device,
+        "master": "agg1/1",
+        "temporary": None,
+        "sequence": sequence,
+        "measured_at": measured_at,
+        "interval_s": 0.1,
+        "current_ma": 120.0,
+        "voltage_v": 5.0,
+        "energy_mwh": 120.0 * 5.0 * 0.1 / 3600.0,
+        "buffered": False,
+    }
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    device: str,
+    batch_size: int,
+    batches: int,
+    acked: list,
+    errors: list,
+) -> None:
+    """One keep-alive client: register, then post ``batches`` batches."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        body = encode_message(RegistrationRequest(DeviceId(device)))
+        conn.request("POST", "/register", body)
+        reply = json.loads(conn.getresponse().read())
+        if reply.get("status") != "registered":
+            errors.append(f"{device}: registration {reply}")
+            return
+        sequence = 0
+        count = 0
+        for b in range(batches):
+            reports = []
+            for _ in range(batch_size):
+                sequence += 1
+                reports.append(_report_dict(device, sequence, 0.1 * sequence))
+            conn.request(
+                "POST", "/reports", json.dumps({"reports": reports}).encode()
+            )
+            verdicts = json.loads(conn.getresponse().read())
+            count += verdicts["accepted"]
+            if verdicts["rejected"]:
+                bad = [
+                    r for r in verdicts["results"] if r.get("verdict") != "ack"
+                ]
+                errors.append(f"{device}: batch {b} rejected {bad[:2]}")
+        acked.append(count)
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the bench
+        errors.append(f"{device}: {type(exc).__name__}: {exc}")
+    finally:
+        conn.close()
+
+
+def _run_ingestion(
+    batch_size: int, clients: int, batches: int, step_s: float = 0.05
+) -> tuple[int, float]:
+    """One sustained-ingestion run; returns (reports acked, wall seconds)."""
+    spec = paper_testbed_spec(seed=7, enter_devices=False)
+    # A small step keeps per-request kernel work low; a deep slot ring
+    # absorbs a whole 64-report batch between block flushes.
+    spec = dataclasses.replace(spec, serve=ServeSpec(enabled=True, step_s=step_s))
+    service = AggregatorService(spec)
+    acked: list = []
+    errors: list = []
+    with ServeRunner(service) as runner:
+        host, port = runner.address
+        threads = [
+            threading.Thread(
+                target=_client_worker,
+                args=(host, port, f"bench-{i}", batch_size, batches, acked, errors),
+            )
+            for i in range(clients)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"ingestion errors: {errors[:3]}")
+    total = sum(acked)
+    expected = clients * batches * batch_size
+    if total != expected:
+        raise AssertionError(f"acked {total} of {expected} reports")
+    return total, wall
+
+
+def main(argv=None):
+    """Benchmark entry point; writes/gates BENCH_serve.json."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="sub-second shape (2 clients, few batches) instead of the full one",
+    )
+    parser.add_argument(
+        "--out", metavar="JSON", help="write/update this BENCH_serve.json file"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="JSON",
+        help="fail when any case drops >30%% below this file's committed rates",
+    )
+    args = parser.parse_args(argv)
+    config = "smoke" if args.smoke else "full"
+    clients = 2 if args.smoke else 4
+    cases = {}
+    for batch_size in (1, 8, 64):
+        # Same report budget per case so the curve isolates batching.
+        budget = (64 if args.smoke else 512) * clients
+        batches = max(1, budget // (clients * batch_size))
+        repeats = 2 if args.smoke else 3
+        best_total, best_wall = _run_ingestion(batch_size, clients, batches)
+        for _ in range(repeats - 1):
+            total, wall = _run_ingestion(batch_size, clients, batches)
+            if wall < best_wall:
+                best_total, best_wall = total, wall
+        record = case(best_total, best_wall)
+        record["batch_size"] = batch_size
+        record["clients"] = clients
+        cases[f"batch{batch_size}"] = record
+        print(
+            f"batch={batch_size:>2} clients={clients} "
+            f"reports={best_total:>5} wall={best_wall:.3f}s "
+            f"rate={record['events_per_s']:,}/s"
+        )
+    if args.out:
+        write_results(args.out, "serve", config, cases)
+        print(f"wrote {args.out} [{config}]")
+    if args.check:
+        failures = check_regression(cases, args.check, config)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression check OK against {args.check} [{config}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,10 @@ Covered suites (dispatched on the file's ``suite`` field):
 * ``ledger`` — the delay-vs-traffic curve and pruning acceptance bound
   (delegated to :func:`repro.experiments.ledger_sync.validate_bench`,
   the module that writes the artifact).
+* ``serve`` — the sustained-ingestion curve over batch sizes: every
+  case carries ``batch_size``/``clients`` extras, and within a config
+  the per-report throughput must not *decrease* as batches grow (the
+  batch idiom's whole point).
 
 Each validator returns a list of problem strings; the CLI prints them
 and exits non-zero when any file is invalid or missing.
@@ -154,11 +158,42 @@ def validate_ledger(data: Any) -> list[str]:
     return validate_bench(data)
 
 
+# The serve suite's cases add the ingestion shape they were measured at.
+SERVE_CASE_KEYS = THROUGHPUT_KEYS | {"batch_size", "clients"}
+
+
+def validate_serve(data: Any) -> list[str]:
+    """Serve suite: throughput per batch size, monotone amortisation."""
+    problems: list[str] = []
+    for config_name, cases in _configs(problems, data, "serve").items():
+        if not isinstance(cases, dict) or not cases:
+            problems.append(f"{config_name}: empty config")
+            continue
+        curve: list[tuple[int, int]] = []
+        for case_name, record in cases.items():
+            where = f"{config_name}/{case_name}"
+            if not _check_throughput_case(problems, where, record, SERVE_CASE_KEYS):
+                continue
+            if not _numeric(record["batch_size"]) or record["batch_size"] < 1:
+                problems.append(f"{where}: bad batch_size")
+                continue
+            curve.append((record["batch_size"], record["events_per_s"]))
+        curve.sort()
+        for (small, slow_rate), (big, fast_rate) in zip(curve, curve[1:]):
+            if fast_rate < slow_rate:
+                problems.append(
+                    f"{config_name}: batch {big} is slower than batch {small} "
+                    f"({fast_rate:,}/s < {slow_rate:,}/s) — batching must amortise"
+                )
+    return problems
+
+
 VALIDATORS = {
     "kernel": validate_kernel,
     "fleet": validate_fleet,
     "shard": validate_shard,
     "ledger": validate_ledger,
+    "serve": validate_serve,
 }
 
 

@@ -9,6 +9,7 @@ spec-file-described scenario end to end:
     $ repro-experiments fig5 fig6
     $ repro-experiments            # everything
     $ repro-experiments --scenario spec.json --until 30
+    $ repro-experiments serve --scenario spec.json --port 8080
 """
 
 from __future__ import annotations
@@ -143,6 +144,81 @@ def run_scenario_file(
     return snapshot
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` subcommand's parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serve",
+        description=(
+            "Serve an aggregator over HTTP: membership, batched report "
+            "ingestion, alert long-polling, ledger sync and metrics."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="SPEC_JSON",
+        help=(
+            "ScenarioSpec JSON file to serve (default: the paper testbed "
+            "with no simulated device entries)"
+        ),
+    )
+    parser.add_argument(
+        "--host", default=None, metavar="ADDR",
+        help="bind address (default: the spec's serve block, 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="bind port; 0 picks an ephemeral one (default: the spec's)",
+    )
+    parser.add_argument(
+        "--network", default=None, metavar="NAME",
+        help="aggregator network to serve (default: the spec's first)",
+    )
+    parser.add_argument(
+        "--for", dest="duration", type=float, default=None, metavar="SECONDS",
+        help="serve for this many wall seconds then exit (default: forever)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request"
+    )
+    return parser
+
+
+def run_serve(argv: list[str]) -> int:
+    """``serve`` subcommand: host a world over HTTP until interrupted."""
+    import time
+
+    from repro.runtime import ScenarioSpec
+    from repro.serve import AggregatorService, ServeRunner
+
+    args = build_serve_parser().parse_args(argv)
+    if args.scenario:
+        spec = ScenarioSpec.from_json(Path(args.scenario).read_text())
+    else:
+        from repro.workloads.scenarios import paper_testbed_spec
+
+        spec = paper_testbed_spec(enter_devices=False)
+    service = AggregatorService(spec, network=args.network)
+    host = args.host if args.host is not None else spec.serve.host
+    port = args.port if args.port is not None else spec.serve.port
+    runner = ServeRunner(service, host=host, port=port, verbose=args.verbose)
+    runner.start()
+    bound_host, bound_port = runner.address
+    print(f"serving {service.healthz()['network']} on http://{bound_host}:{bound_port}")
+    sys.stdout.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        runner.stop()
+    print("serve: clean shutdown")
+    return 0
+
+
 def _parse_count(value: str | None, flag: str) -> int | str | None:
     """``'auto'``/``'0'`` mean autodetect; otherwise a positive count."""
     if value is None or value == "auto":
@@ -156,6 +232,10 @@ def _parse_count(value: str | None, flag: str) -> int | str | None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:

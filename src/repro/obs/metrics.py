@@ -20,6 +20,7 @@ registered banks sum (counters) or concatenate (series).
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -34,11 +35,18 @@ def _escape_label(value: str) -> str:
 
 
 def _format_value(value: float) -> str:
-    # Integral floats print as integers; everything else uses repr,
-    # which round-trips and is stable across runs.
-    if float(value).is_integer():
+    # Non-finite samples must use the exposition-format spellings
+    # (+Inf/-Inf/NaN) — Python's inf/nan are not parseable Prometheus
+    # text.  Integral floats print as integers; everything else uses
+    # repr, which round-trips and is stable across runs.
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer():
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 class MetricsRegistry:

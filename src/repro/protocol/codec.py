@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.errors import CodecError, ProtocolError
+from repro.errors import AddressError, CodecError, ProtocolError
 from repro.protocol.messages import Message, message_from_dict
 
 # json.dumps builds a fresh JSONEncoder on every call that passes
@@ -31,32 +31,50 @@ def encode_message(message: Message) -> bytes:
 
 
 def decode_message(payload: bytes) -> Message:
-    """Parse wire bytes back into a message dataclass."""
+    """Parse wire bytes back into a message dataclass.
+
+    Every malformed input — truncated UTF-8, non-JSON bytes, deeply
+    nested JSON, a non-object top level, wrong-typed or missing fields —
+    raises :class:`~repro.errors.CodecError`, never a bare
+    ``KeyError``/``TypeError``: serve mode feeds this function bytes
+    from untrusted network peers.
+    """
     try:
         data: dict[str, Any] = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise CodecError(f"malformed message payload: {exc}") from exc
+    except RecursionError:
+        raise CodecError("message payload is nested too deeply") from None
     if not isinstance(data, dict):
         raise CodecError(f"message payload must be an object, got {type(data).__name__}")
     try:
         return message_from_dict(data)
     except CodecError:
         raise
-    except (KeyError, ValueError, ProtocolError) as exc:
+    except (KeyError, TypeError, AttributeError, ValueError, AddressError,
+            ProtocolError) as exc:
         raise CodecError(f"message payload missing/invalid fields: {exc}") from exc
 
 
 def as_message(payload: Any) -> Message:
     """The message carried by ``payload``, whatever its wire form.
 
-    Radio backends deliver encoded bytes (decoded here); in-process
-    backends deliver the frozen message dataclass itself, which passes
-    through untouched.  Receive handlers should type-check the result as
-    they would a decoded message.
+    Radio backends deliver encoded bytes and HTTP bodies arrive as
+    UTF-8 JSON text (both decoded here); in-process backends deliver
+    the frozen message dataclass itself, which passes through after a
+    type check.  Anything else — a raw dict, ``None``, a stray object —
+    raises :class:`~repro.errors.CodecError` instead of leaking an
+    unvalidated payload into a receive handler.
     """
     if isinstance(payload, (bytes, bytearray)):
         return decode_message(bytes(payload))
-    return payload
+    if isinstance(payload, str):
+        return decode_message(payload.encode("utf-8"))
+    if isinstance(payload, Message):
+        return payload
+    raise CodecError(
+        f"payload is not a wire form or message dataclass: {type(payload).__name__}"
+    )
 
 
 def encoded_size(message: Message) -> int:

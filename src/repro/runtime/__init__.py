@@ -23,6 +23,7 @@ from repro.runtime.spec import (
     ObsSpec,
     ProfileSpec,
     ScenarioSpec,
+    ServeSpec,
     ShardSpec,
     TransportSpec,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "TransportSpec",
     "ObsSpec",
     "ShardSpec",
+    "ServeSpec",
     "build",
     "build_partial",
     "add_network",

@@ -24,7 +24,7 @@ from repro.errors import ConfigError
 
 PROFILE_KINDS = ("constant", "duty_cycle", "sinusoid")
 MESH_TOPOLOGIES = ("full", "line", "star", "explicit")
-TRANSPORT_KINDS = ("mqtt", "direct")
+TRANSPORT_KINDS = ("mqtt", "direct", "serve")
 FAULT_KINDS = (
     "channel_blackout",
     "channel_noise",
@@ -280,6 +280,10 @@ class TransportSpec:
     scan_s: float = 4.29
     assoc_s: float = 1.2
 
+    # The ``serve`` kind is the direct router with a real wire boundary
+    # (every payload is codec-encoded bytes); it shares the direct
+    # backend's latency/loss/entry parameters.
+
     def __post_init__(self) -> None:
         if self.kind not in TRANSPORT_KINDS:
             raise ConfigError(
@@ -310,6 +314,16 @@ class TransportSpec:
             from repro.transport.mqtt import MqttTransport
 
             return MqttTransport(channel)
+        if self.kind == "serve":
+            from repro.transport.serve import ServeTransport
+
+            return ServeTransport(
+                latency_s=self.latency_s,
+                loss_p=self.loss_p,
+                connect_s=self.connect_s,
+                scan_s=self.scan_s,
+                assoc_s=self.assoc_s,
+            )
         from repro.transport.direct import DirectTransport
 
         return DirectTransport(
@@ -600,6 +614,79 @@ class VectorSpec:
 
 
 @dataclass(frozen=True)
+class ServeSpec:
+    """Serve-mode configuration: the aggregator as a networked service.
+
+    Default **off**: a spec without a ``serve`` block builds and runs
+    exactly as before this layer existed (the pinned determinism digest
+    depends on it).  When enabled, ``repro.cli serve`` (or
+    :class:`repro.serve.AggregatorService` directly) hosts the world
+    behind a threaded HTTP server: external clients register, ingest
+    batched reports, poll alerts and fetch ledger proofs over a real
+    socket while the simulation kernel advances on demand.
+
+    Attributes:
+        enabled: Master switch (the CLI refuses to serve a spec whose
+            block is off unless ``--force`` is given).
+        host: Bind address of the HTTP server.
+        port: Bind port (0: an ephemeral port, reported at startup).
+        network: Name of the served network/aggregator (None: the
+            spec's first network).
+        step_s: Simulated seconds the kernel advances per ingestion
+            step — one full aggregator duty cycle (processing latency,
+            downlink, feeder tick, block flush) per batch.
+        poll_timeout_s: Default long-poll timeout of ``GET /alerts``.
+    """
+
+    enabled: bool = False
+    host: str = "127.0.0.1"
+    port: int = 0
+    network: str | None = None
+    step_s: float = 1.0
+    poll_timeout_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigError("serve host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise ConfigError(f"serve port must be in [0, 65535], got {self.port}")
+        if self.step_s <= 0:
+            raise ConfigError(f"serve step must be positive, got {self.step_s}")
+        if self.poll_timeout_s < 0:
+            raise ConfigError(
+                f"serve poll timeout must be >= 0, got {self.poll_timeout_s}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "enabled": self.enabled,
+            "host": self.host,
+            "port": self.port,
+            "network": self.network,
+            "step_s": self.step_s,
+            "poll_timeout_s": self.poll_timeout_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeSpec":
+        """Inverse of :meth:`to_dict`."""
+        _require_keys(
+            data,
+            {"enabled", "host", "port", "network", "step_s", "poll_timeout_s"},
+            "serve",
+        )
+        return cls(
+            enabled=data.get("enabled", False),
+            host=data.get("host", "127.0.0.1"),
+            port=data.get("port", 0),
+            network=data.get("network"),
+            step_s=data.get("step_s", 1.0),
+            poll_timeout_s=data.get("poll_timeout_s", 5.0),
+        )
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """One named fault window.
 
@@ -704,6 +791,8 @@ class ScenarioSpec:
             see :class:`ShardSpec`).
         vector: Vectorized-execution configuration (default off — see
             :class:`VectorSpec`).
+        serve: Serve-mode configuration (default off — see
+            :class:`ServeSpec`).
     """
 
     networks: tuple[NetworkSpec, ...]
@@ -719,6 +808,7 @@ class ScenarioSpec:
     ledger: LedgerSpec = field(default_factory=LedgerSpec)
     sharding: ShardSpec = field(default_factory=ShardSpec)
     vector: VectorSpec = field(default_factory=VectorSpec)
+    serve: ServeSpec = field(default_factory=ServeSpec)
 
     def __post_init__(self) -> None:
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -764,6 +854,11 @@ class ScenarioSpec:
                 "shard assignment must cover every network; missing "
                 f"{sorted(known - set(assigned))}"
             )
+        if self.serve.network is not None and self.serve.network not in known:
+            raise ConfigError(
+                f"serve block references unknown network {self.serve.network!r} "
+                f"(have {sorted(known)})"
+            )
         fault_names = [f.name for f in self.faults]
         if len(set(fault_names)) != len(fault_names):
             raise ConfigError(f"duplicate fault names in {fault_names}")
@@ -800,6 +895,7 @@ class ScenarioSpec:
             "ledger": self.ledger.to_dict(),
             "sharding": self.sharding.to_dict(),
             "vector": self.vector.to_dict(),
+            "serve": self.serve.to_dict(),
         }
 
     @classmethod
@@ -808,7 +904,8 @@ class ScenarioSpec:
         _require_keys(
             data,
             {"name", "seed", "t_measure_s", "device_retry", "networks", "devices",
-             "mesh", "transport", "faults", "obs", "ledger", "sharding", "vector"},
+             "mesh", "transport", "faults", "obs", "ledger", "sharding", "vector",
+             "serve"},
             "scenario",
         )
         return cls(
@@ -840,6 +937,11 @@ class ScenarioSpec:
                 VectorSpec.from_dict(data["vector"])
                 if "vector" in data
                 else VectorSpec()
+            ),
+            serve=(
+                ServeSpec.from_dict(data["serve"])
+                if "serve" in data
+                else ServeSpec()
             ),
         )
 

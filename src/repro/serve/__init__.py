@@ -1,0 +1,14 @@
+"""Serve mode: the aggregator as a long-running networked service.
+
+Everything below the wire boundary is the simulated world — the same
+:func:`~repro.runtime.build.build` output the experiment harnesses
+drive — but here the kernel advances on demand as external clients
+register, ingest report batches, poll alerts, and sync the ledger over
+HTTP.  See :mod:`repro.serve.service` for the facade and
+:mod:`repro.serve.http` for the stdlib server.
+"""
+
+from repro.serve.http import ServeHTTPServer, ServeRunner
+from repro.serve.service import AggregatorService
+
+__all__ = ["AggregatorService", "ServeHTTPServer", "ServeRunner"]

@@ -1,0 +1,78 @@
+"""Serve backend: the in-process router with a real wire boundary.
+
+Serve mode (:mod:`repro.serve`) fronts an :class:`~repro.aggregator.unit.
+AggregatorUnit` over HTTP, so every payload that crosses its endpoint
+must be *encoded wire bytes* — an external client's report arrives as
+UTF-8 JSON, and the aggregator's downlink replies must leave as bytes
+the HTTP layer can hand back verbatim.
+
+``ServeTransport`` is therefore the :class:`~repro.transport.direct`
+router with ``wire_bytes = True``: routing, batching, downtime and
+fault-injection semantics are inherited unchanged, but protocol code on
+both sides runs the full :mod:`repro.protocol.codec` encode/decode path
+on every message — the same boundary the MQTT backend exercises, without
+the radio model.  That makes it the third backend of the PR-3 seam:
+
+=========  ===========  ==============
+backend    wire bytes   delivery model
+=========  ===========  ==============
+mqtt       yes          radio airtime, RSSI loss, broker
+direct     no           in-process reference passing
+serve      yes          in-process routing, codec on every hop
+=========  ===========  ==============
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.transport.base import DeviceLink, Endpoint, RadioModel
+from repro.transport.direct import DirectHub, DirectLink, DirectTransport
+
+if TYPE_CHECKING:
+    from repro.runtime.context import SimContext
+    from repro.sim.kernel import Simulator
+    from repro.sim.process import Process
+
+
+class ServeHub(DirectHub):
+    """The direct router, carrying encoded wire bytes.
+
+    ``wire_bytes = True`` makes the aggregator encode every downlink
+    message and run :func:`~repro.protocol.codec.as_message` on every
+    uplink — the serve layer injects raw HTTP bodies here and reads
+    encoded replies back out.
+    """
+
+    wire_bytes = True
+
+
+class ServeLink(DirectLink):
+    """Device-side session that publishes encoded wire bytes."""
+
+    wire_bytes = True
+
+
+class ServeTransport(DirectTransport):
+    """In-process transport whose endpoints carry encoded wire bytes.
+
+    Shares every parameter and semantic of
+    :class:`~repro.transport.direct.DirectTransport`; only the payload
+    form differs.  Simulated devices built on this backend pay the codec
+    on each message exactly like external HTTP clients do, so a served
+    world screens both through one boundary.
+    """
+
+    kind = "serve"
+
+    def make_endpoint(self, runtime: "Simulator | SimContext", owner_name: str) -> Endpoint:
+        """The wire-bytes hub hosted on aggregator ``owner_name``."""
+        return ServeHub(runtime, f"{owner_name}-broker", connect_s=self.connect_s)
+
+    def make_link(self, runtime: "Simulator | SimContext", device_name: str) -> DeviceLink:
+        """A wire-bytes link for ``device_name``."""
+        return ServeLink(runtime, f"{device_name}-link", self)
+
+    def make_radio(self, process: "Process") -> RadioModel:
+        """Deterministic entry latencies (inherited from direct)."""
+        return super().make_radio(process)

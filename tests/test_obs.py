@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+import math
 
 import pytest
 
@@ -124,6 +125,24 @@ class TestMetricsRegistry:
         assert series["name"] == "agg1.feeder"
         assert series["samples"] == 2
         assert series["last_value"] == 2.5
+
+    def test_non_finite_values_use_exposition_spellings(self):
+        # Regression: these printed as Python's "inf"/"nan", which no
+        # Prometheus parser accepts.  The exposition format mandates
+        # +Inf/-Inf/NaN.
+        series = SeriesBank()
+        series.record("pos", 0.0, math.inf)
+        series.record("neg", 0.0, -math.inf)
+        series.record("bad", 0.0, math.nan)
+        registry = MetricsRegistry()
+        registry.add_series(series)
+        text = registry.to_prometheus()
+        assert 'repro_series_last{name="pos"} +Inf' in text
+        assert 'repro_series_last{name="neg"} -Inf' in text
+        assert 'repro_series_last{name="bad"} NaN' in text
+        for spelling in ("inf", "nan"):
+            for line in text.splitlines():
+                assert not line.endswith(spelling), line
 
     def test_counter_collisions_sum(self):
         a, b = CounterBank(), CounterBank()

@@ -21,7 +21,7 @@ from repro.protocol import (
     decode_message,
     encode_message,
 )
-from repro.protocol.codec import encoded_size
+from repro.protocol.codec import as_message, encoded_size
 from repro.protocol.messages import (
     MgmtCommand,
     MgmtResponse,
@@ -116,6 +116,73 @@ class TestCodecRoundtrip:
             make_report(seq=-1)
         with pytest.raises(ProtocolError):
             ConsumptionReport(DEVICE, None, None, 0, 0.0, 0.0, 1.0, 3.3, 0.0)
+
+
+class TestCodecAdversarial:
+    """decode_message on hostile bytes: always CodecError, never a leak.
+
+    Serve mode feeds raw HTTP bodies straight into the codec, so any
+    exception other than :class:`CodecError` here would surface as a 500
+    (or worse, crash a kernel callback) instead of a clean 400.
+    """
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"",
+            b"\xff\xfe",  # invalid UTF-8
+            b'{"type": "ack", "device": "d\xc3',  # truncated mid-codepoint
+            b'{"type": "ack"',  # truncated JSON
+            b"42",  # non-object top level
+            b'"just a string"',
+            b"null",
+            b'{"device": "d"}',  # object without a type
+            b'{"type": 7}',  # non-string type
+            b'{"type": "ack", "device": 123}',  # wrong-typed device name
+            b'{"type": "ack", "device": null}',
+            b'{"type": "registration_request", "device": "d", "master": 5}',
+            b'{"type": "consumption_report", "device": "d", "sequence": "x"}',
+            b'{"type": "receipt_request", "device": "d", "sequence": null}',
+            b'{"type": "mgmt", "device": "d", "command": "martian"}',
+        ],
+        ids=lambda p: repr(p)[:40],
+    )
+    def test_hostile_bytes_raise_codec_error(self, payload):
+        with pytest.raises(CodecError):
+            decode_message(payload)
+
+    def test_deeply_nested_json_rejected(self):
+        payload = (b"[" * 100_000) + (b"]" * 100_000)
+        with pytest.raises(CodecError):
+            decode_message(payload)
+        nested = (b'{"a":' * 100_000) + b"1" + (b"}" * 100_000)
+        with pytest.raises(CodecError):
+            decode_message(nested)
+
+
+class TestAsMessage:
+    def test_bytes_and_bytearray_decode(self):
+        message = Ack(DEVICE, sequence=4)
+        wire = encode_message(message)
+        assert as_message(wire) == message
+        assert as_message(bytearray(wire)) == message
+
+    def test_str_payload_decodes_as_utf8_json(self):
+        message = Ack(DEVICE, sequence=4)
+        assert as_message(encode_message(message).decode("utf-8")) == message
+
+    def test_message_dataclass_passes_through(self):
+        message = make_report(seq=2)
+        assert as_message(message) is message
+
+    def test_malformed_str_raises_codec_error(self):
+        with pytest.raises(CodecError):
+            as_message("not json")
+
+    def test_non_message_objects_rejected(self):
+        for payload in (None, 42, 3.14, ["ack"], {"type": "ack"}, object()):
+            with pytest.raises(CodecError):
+                as_message(payload)
 
 
 class TestDeviceFsm:

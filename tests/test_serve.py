@@ -1,0 +1,317 @@
+"""Serve mode: spec plumbing, the service facade, and HTTP end to end."""
+
+import dataclasses
+import http.client
+import json
+
+import pytest
+
+from repro.chain.receipts import receipt_from_dict
+from repro.errors import ChainError, CodecError, ConfigError
+from repro.ids import DeviceId, parse_address
+from repro.protocol.codec import encode_message
+from repro.protocol.messages import RegistrationRequest
+from repro.runtime import ScenarioSpec, ServeSpec, TransportSpec, build
+from repro.serve import AggregatorService, ServeRunner
+from repro.transport.serve import ServeHub, ServeLink, ServeTransport
+from repro.workloads.scenarios import paper_testbed_spec
+
+
+def serve_spec(seed=7, step_s=0.5, enter_devices=False, **serve_kwargs):
+    spec = paper_testbed_spec(seed=seed, enter_devices=enter_devices)
+    return dataclasses.replace(
+        spec, serve=ServeSpec(enabled=True, step_s=step_s, **serve_kwargs)
+    )
+
+
+def report_dict(device, sequence, measured_at=None, current_ma=120.0):
+    return {
+        "type": "consumption_report",
+        "device": device,
+        "master": "agg1/1",
+        "temporary": None,
+        "sequence": sequence,
+        "measured_at": 0.1 * sequence if measured_at is None else measured_at,
+        "interval_s": 0.1,
+        "current_ma": current_ma,
+        "voltage_v": 5.0,
+        "energy_mwh": current_ma * 5.0 * 0.1 / 3600.0,
+        "buffered": False,
+    }
+
+
+class TestServeSpec:
+    def test_defaults_off_and_round_trip(self):
+        spec = paper_testbed_spec()
+        assert not spec.serve.enabled
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        assert "serve" in spec.to_dict()
+
+    def test_enabled_round_trip(self):
+        spec = serve_spec(step_s=0.25, host="0.0.0.0", port=8123, network="agg2")
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.serve.port == 8123
+        assert clone.serve.network == "agg2"
+
+    def test_json_round_trip(self):
+        spec = serve_spec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ServeSpec(host="")
+        with pytest.raises(ConfigError):
+            ServeSpec(port=70000)
+        with pytest.raises(ConfigError):
+            ServeSpec(step_s=0.0)
+        with pytest.raises(ConfigError):
+            ServeSpec(poll_timeout_s=-1.0)
+
+    def test_unknown_serve_network_rejected(self):
+        spec = paper_testbed_spec()
+        with pytest.raises(ConfigError):
+            dataclasses.replace(spec, serve=ServeSpec(network="nope"))
+
+    def test_old_spec_dict_without_serve_block_loads(self):
+        data = paper_testbed_spec().to_dict()
+        del data["serve"]
+        assert ScenarioSpec.from_dict(data).serve == ServeSpec()
+
+
+class TestServeTransport:
+    def test_spec_kind_builds_serve_transport(self):
+        transport = TransportSpec(kind="serve").build(None)
+        assert isinstance(transport, ServeTransport)
+        assert transport.kind == "serve"
+
+    def test_endpoints_carry_wire_bytes(self):
+        spec = paper_testbed_spec(transport=TransportSpec(kind="serve"))
+        scenario = build(spec)
+        for unit in scenario.aggregators.values():
+            assert isinstance(unit.endpoint, ServeHub)
+            assert unit.endpoint.wire_bytes
+
+    def test_link_factory_carries_wire_bytes(self):
+        transport = ServeTransport()
+        link = transport.make_link(build(paper_testbed_spec()).simulator, "d1")
+        assert isinstance(link, ServeLink)
+        assert link.wire_bytes
+
+    def test_simulated_world_runs_on_serve_backend(self):
+        # The full testbed crossing the codec on every hop must still
+        # converge: registrations, reports, blocks.
+        spec = paper_testbed_spec(seed=3, transport=TransportSpec(kind="serve"))
+        scenario = build(spec)
+        scenario.run_until(12.0)
+        scenario.chain.validate()
+        assert scenario.chain.height > 0
+        assert sum(
+            unit.registry.member_count for unit in scenario.aggregators.values()
+        ) == len(scenario.devices)
+
+
+class TestAggregatorService:
+    def test_forces_serve_transport(self):
+        service = AggregatorService(paper_testbed_spec(enter_devices=False))
+        assert isinstance(service.unit.endpoint, ServeHub)
+
+    def test_register_and_ingest_batch(self):
+        service = AggregatorService(serve_spec())
+        body = encode_message(RegistrationRequest(DeviceId("ext-1")))
+        reply = service.register(body)
+        assert reply["status"] == "registered"
+        assert parse_address(reply["address"]).aggregator.name == "agg1"
+        batch = json.dumps(
+            {"reports": [report_dict("ext-1", s) for s in (1, 2, 3)]}
+        )
+        verdicts = service.ingest(batch)
+        assert verdicts["accepted"] == 3
+        assert [r["verdict"] for r in verdicts["results"]] == ["ack"] * 3
+
+    def test_register_rejects_wrong_message_type(self):
+        service = AggregatorService(serve_spec())
+        with pytest.raises(CodecError):
+            service.register(json.dumps(report_dict("ext-1", 1)))
+
+    def test_unregistered_report_nacked_with_reason(self):
+        service = AggregatorService(serve_spec())
+        verdicts = service.ingest(json.dumps([report_dict("ghost", 1)]))
+        [result] = verdicts["results"]
+        assert result["verdict"] == "nack"
+        assert result["reason"] == "not_a_member"
+
+    def test_out_of_range_report_nacked(self):
+        service = AggregatorService(serve_spec())
+        service.register(encode_message(RegistrationRequest(DeviceId("ext-1"))))
+        verdicts = service.ingest(
+            json.dumps([report_dict("ext-1", 1, current_ma=5000.0)])
+        )
+        [result] = verdicts["results"]
+        assert result["verdict"] == "nack"
+
+    def test_malformed_batch_entries_get_error_verdicts(self):
+        service = AggregatorService(serve_spec())
+        service.register(encode_message(RegistrationRequest(DeviceId("ext-1"))))
+        batch = json.dumps(
+            [report_dict("ext-1", 1), {"type": "martian"}, "not even an object"]
+        )
+        verdicts = service.ingest(batch)
+        kinds = [r["verdict"] for r in verdicts["results"]]
+        assert kinds == ["ack", "error", "error"]
+
+    def test_malformed_batch_body_raises(self):
+        service = AggregatorService(serve_spec())
+        with pytest.raises(CodecError):
+            service.ingest(b"not json")
+        with pytest.raises(CodecError):
+            service.ingest(json.dumps({"reports": "nope"}))
+
+    def test_nacks_surface_on_alert_stream(self):
+        service = AggregatorService(serve_spec())
+        service.ingest(json.dumps([report_dict("ghost", 1)]))
+        feed = service.alerts(since=0, timeout_s=0.0)
+        nacks = [a for a in feed["alerts"] if a["kind"] == "nack"]
+        assert nacks and nacks[0]["device"] == "ghost"
+        assert feed["next"] == len(feed["alerts"])
+        # Cursor semantics: nothing new after the cursor.
+        again = service.alerts(since=feed["next"], timeout_s=0.0)
+        assert again["alerts"] == []
+
+    def test_headers_and_offline_proof(self):
+        service = AggregatorService(serve_spec())
+        service.register(encode_message(RegistrationRequest(DeviceId("ext-1"))))
+        service.ingest(
+            json.dumps({"reports": [report_dict("ext-1", s) for s in (1, 2)]})
+        )
+        service.advance(2.0)  # past a block flush
+        headers = service.ledger_headers()
+        assert headers["tip_height"] >= 1
+        assert headers["headers"]
+        proof = service.proof("ext-1", 2)
+        receipt = receipt_from_dict(proof)
+        assert receipt.verify()  # offline: no chain handle
+        with pytest.raises(ChainError):
+            service.proof("ext-1", 99)
+
+    def test_headers_validation(self):
+        service = AggregatorService(serve_spec())
+        with pytest.raises(ConfigError):
+            service.ledger_headers(from_height=-1)
+        with pytest.raises(ConfigError):
+            service.ledger_headers(count=0)
+
+    def test_metrics_exposition(self):
+        service = AggregatorService(serve_spec())
+        service.register(encode_message(RegistrationRequest(DeviceId("ext-1"))))
+        service.ingest(json.dumps([report_dict("ext-1", 1)]))
+        text = service.metrics()
+        assert "# TYPE repro_counter counter" in text
+        assert 'name="serve.reports_ingested"' in text
+
+    def test_healthz_tracks_world(self):
+        service = AggregatorService(serve_spec())
+        before = service.healthz()
+        assert before["status"] == "ok" and before["members"] == 0
+        service.register(encode_message(RegistrationRequest(DeviceId("ext-1"))))
+        after = service.healthz()
+        assert after["members"] == 1
+        assert after["external_clients"] == 1
+        assert after["sim_time_s"] > before["sim_time_s"]
+
+    def test_simulated_devices_share_the_served_world(self):
+        # A served world with the simulated fleet enabled: both report
+        # paths (kernel devices and external batches) land in one chain.
+        service = AggregatorService(serve_spec(enter_devices=True, step_s=1.0))
+        for _ in range(10):
+            service.advance()
+        assert service.scenario.chain.height > 0
+        assert service.unit.registry.member_count >= 2
+        service.scenario.chain.validate()
+
+
+class TestServeHttp:
+    @pytest.fixture()
+    def service(self):
+        return AggregatorService(serve_spec())
+
+    @pytest.fixture()
+    def server(self, service):
+        with ServeRunner(service) as runner:
+            host, port = runner.address
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            yield conn
+            conn.close()
+
+    def _json(self, conn, method, path, body=None):
+        conn.request(method, path, body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+
+    def test_end_to_end_over_a_real_socket(self, server):
+        status, health = self._json(server, "GET", "/healthz")
+        assert (status, health["status"]) == (200, "ok")
+
+        body = encode_message(RegistrationRequest(DeviceId("ext-1")))
+        status, reply = self._json(server, "POST", "/register", body)
+        assert (status, reply["status"]) == (200, "registered")
+
+        batch = json.dumps({"reports": [report_dict("ext-1", s) for s in (1, 2, 3)]})
+        status, verdicts = self._json(server, "POST", "/reports", batch.encode())
+        assert status == 200 and verdicts["accepted"] == 3
+
+        status, headers = self._json(server, "GET", "/ledger/headers")
+        assert status == 200 and headers["tip_height"] >= 1
+
+        status, proof = self._json(server, "GET", "/proofs/ext-1/3")
+        assert status == 200
+        assert receipt_from_dict(proof).verify()
+
+    def test_metrics_parse_including_non_finite(self, service, server):
+        # Push a genuinely non-finite sample into the served world's
+        # monitoring bank, then require valid exposition text end to
+        # end: every sample line parses the Prometheus way.
+        import math
+
+        service.unit.monitoring.record("residual_ratio", 0.0, math.inf)
+        server.request("GET", "/metrics")
+        response = server.getresponse()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        text = response.read().decode()
+        assert 'name="agg1.residual_ratio"} +Inf' in text
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            value = line.rsplit(" ", 1)[1]
+            assert value in ("+Inf", "-Inf", "NaN") or math.isfinite(float(value))
+
+    def test_error_mapping(self, server):
+        status, body = self._json(server, "POST", "/register", b"not a message")
+        assert status == 400 and "error" in body
+        status, body = self._json(server, "GET", "/proofs/ghost/1")
+        assert status == 404
+        status, body = self._json(server, "GET", "/nowhere")
+        assert status == 404
+        status, body = self._json(server, "GET", "/register")
+        assert status == 405
+        status, body = self._json(server, "GET", "/ledger/headers?count=0")
+        assert status == 400
+        status, body = self._json(server, "GET", "/ledger/headers?count=zap")
+        assert status == 400
+
+    def test_alerts_long_poll_times_out_empty(self, server):
+        status, feed = self._json(server, "GET", "/alerts?since=0&timeout_s=0.05")
+        assert status == 200
+        assert feed == {"alerts": [], "next": 0}
+
+    def test_clean_shutdown_releases_port(self):
+        service = AggregatorService(serve_spec())
+        runner = ServeRunner(service).start()
+        host, port = runner.address
+        runner.stop()
+        # The socket is closed: a fresh connection must be refused.
+        with pytest.raises(OSError):
+            conn = http.client.HTTPConnection(host, port, timeout=1)
+            conn.request("GET", "/healthz")
+            conn.getresponse()
